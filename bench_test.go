@@ -1,0 +1,210 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. The
+// benchmarks run reduced problem sizes so `go test -bench=.` finishes in
+// reasonable time; cmd/oamlab reproduces the full paper-scale numbers.
+// Simulated results are reported as custom metrics (virtual microseconds
+// or virtual seconds); wall-clock ns/op measures the simulator itself.
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/sor"
+	"repro/internal/apps/triangle"
+	"repro/internal/apps/tsp"
+	"repro/internal/apps/water"
+	"repro/internal/exp"
+)
+
+// BenchmarkTable1NullRPC regenerates Table 1: null RPC round trips.
+func BenchmarkTable1NullRPC(b *testing.B) {
+	var rows []exp.Table1Row
+	for i := 0; i < b.N; i++ {
+		rows = exp.Table1()
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.NoThread)/1000, "vus-"+r.System+"-idle")
+		b.ReportMetric(float64(r.Busy)/1000, "vus-"+r.System+"-busy")
+	}
+}
+
+// BenchmarkBulkTransfer regenerates the section 4.1.2 payload sweep.
+func BenchmarkBulkTransfer(b *testing.B) {
+	var rows []exp.BulkRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.Bulk()
+	}
+	for _, r := range rows {
+		if r.Bytes == 0 || r.Bytes == 640 {
+			b.ReportMetric(float64(r.ORPC)/1000, "vus-orpc-"+itoa(r.Bytes)+"B")
+		}
+	}
+}
+
+// BenchmarkAbortCost regenerates the section 4.1.1 abort-cost numbers.
+func BenchmarkAbortCost(b *testing.B) {
+	var live, busy float64
+	for i := 0; i < b.N; i++ {
+		l, s := exp.AbortCost()
+		live, busy = float64(l)/1000, float64(s)/1000
+	}
+	b.ReportMetric(live, "vus-live-stack")
+	b.ReportMetric(busy, "vus-with-switch")
+}
+
+// BenchmarkFig1Triangle regenerates Figure 1 at reduced scale: the
+// Triangle puzzle per system at 8 nodes.
+func BenchmarkFig1Triangle(b *testing.B) {
+	cfg := triangle.Config{Side: 5, Empty: -1, Seed: 101}
+	seq := triangle.SeqTime(cfg.BoardCounts())
+	for _, sys := range apps.Systems {
+		b.Run(sys.String(), func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = triangle.Run(sys, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds()*1000, "vms-runtime")
+			b.ReportMetric(res.Speedup(seq), "speedup")
+		})
+	}
+}
+
+// BenchmarkFig2TSP regenerates Figure 2 at reduced scale.
+func BenchmarkFig2TSP(b *testing.B) {
+	cfg := tsp.Config{Cities: 10, Seed: 102}
+	seq := tsp.SeqTime(tsp.NewProblem(cfg.Cities, cfg.Seed).SolveSeq())
+	for _, sys := range apps.Systems {
+		b.Run(sys.String(), func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = tsp.Run(sys, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds()*1000, "vms-runtime")
+			b.ReportMetric(res.Speedup(seq), "speedup")
+		})
+	}
+}
+
+// BenchmarkTable2TSPSuccess regenerates Table 2's success percentages.
+func BenchmarkTable2TSPSuccess(b *testing.B) {
+	cfg := tsp.Config{Cities: 10, Seed: 102}
+	for _, slaves := range []int{2, 8} {
+		b.Run("slaves-"+itoa(slaves), func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = tsp.Run(apps.ORPC, slaves, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.SuccessPercent(), "oam-success-%")
+			b.ReportMetric(float64(res.OAMs), "oams")
+		})
+	}
+}
+
+// BenchmarkFig3SOR regenerates Figure 3 at reduced scale.
+func BenchmarkFig3SOR(b *testing.B) {
+	cfg := sor.Config{Rows: 66, Cols: 16, Iters: 30, Eps: 1e-9, Seed: 11}
+	seqr := sor.SolveSeq(cfg)
+	for _, sys := range apps.Systems {
+		b.Run(sys.String(), func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sor.Run(sys, 8, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Answer != seqr.Checksum {
+					b.Fatal("wrong grid")
+				}
+			}
+			b.ReportMetric(res.Elapsed.Seconds()*1000, "vms-runtime")
+			b.ReportMetric(res.Speedup(seqr.Time), "speedup")
+		})
+	}
+}
+
+// BenchmarkFig4Water regenerates Figure 4 at reduced scale: the five
+// variants at 8 nodes.
+func BenchmarkFig4Water(b *testing.B) {
+	cfg := water.Config{Mols: 64, Iters: 5, Seed: 103}
+	seq := water.SolveSeq(water.Config{Mols: cfg.Mols, Iters: 1, Seed: cfg.Seed})
+	for _, v := range exp.WaterVariants {
+		b.Run(v.Name, func(b *testing.B) {
+			var res apps.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = water.Run(v.Sys, 8, v.Barrier, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			perIter := res.Elapsed.Seconds() / float64(cfg.Iters)
+			b.ReportMetric(perIter*1000, "vms-per-iter")
+			b.ReportMetric(seq.TimePerIter.Seconds()/perIter, "speedup")
+		})
+	}
+}
+
+// BenchmarkTable3WaterSuccess regenerates Table 3's success percentages.
+func BenchmarkTable3WaterSuccess(b *testing.B) {
+	cfg := water.Config{Mols: 64, Iters: 5, Seed: 103}
+	var res apps.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = water.Run(apps.ORPC, 8, false, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.SuccessPercent(), "oam-success-%")
+	b.ReportMetric(float64(res.OAMs), "oams")
+}
+
+// BenchmarkPromotionAblation compares the three abort strategies.
+func BenchmarkPromotionAblation(b *testing.B) {
+	var rows []exp.AblationRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.Ablation()
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Elapsed)/1e6, "vms-"+r.Strategy)
+	}
+}
+
+// BenchmarkSchedPolicy compares front- vs back-of-queue scheduling.
+func BenchmarkSchedPolicy(b *testing.B) {
+	var rows []exp.SchedPolicyRow
+	for i := 0; i < b.N; i++ {
+		rows = exp.SchedPolicy()
+	}
+	for _, r := range rows {
+		b.ReportMetric(float64(r.Elapsed)/1e6, "vms-"+r.Policy)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,127 @@
+// Command oamlab regenerates every table and figure of the paper's
+// evaluation (section 4) on the simulated machine:
+//
+//	oamlab [-quick] [-maxp N] [-csv] <experiment>...
+//
+// Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
+// table3, ablation, schedpolicy, budget, buffering,
+// micro (table1+bulk+abortcost), all (everything).
+//
+// -quick shrinks the problem sizes so the suite runs in seconds; the
+// default runs the paper's sizes (the Triangle figure alone simulates
+// over a million RPCs per configuration and takes minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced problem sizes")
+	maxp := flag.Int("maxp", 0, "cap the largest machine size (0 = experiment default)")
+	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	svgdir := flag.String("svgdir", "", "also render figures as SVG into this directory")
+	flag.Parse()
+
+	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
+	names := flag.Args()
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+
+	emit := func(t *exp.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oamlab: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			t.CSV(os.Stdout)
+			fmt.Println()
+		} else {
+			t.Print(os.Stdout)
+		}
+	}
+
+	svg := func(base, title string, rows []exp.FigRow) {
+		if *svgdir == "" || rows == nil {
+			return
+		}
+		if err := exp.WriteFigSVGs(*svgdir, base, title, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "oamlab: svg: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s SVGs written to %s]\n", base, *svgdir)
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "table1":
+			emit(exp.Table1Table(), nil)
+		case "bulk":
+			emit(exp.BulkTable(), nil)
+		case "abortcost":
+			emit(exp.AbortCostTable(), nil)
+		case "fig1":
+			t, rows, err := exp.Fig1Triangle(scale)
+			emit(t, err)
+			svg("fig1", "Figure 1: Triangle puzzle", rows)
+		case "fig2":
+			t, rows, err := exp.Fig2TSP(scale)
+			emit(t, err)
+			svg("fig2", "Figure 2: TSP", rows)
+		case "table2":
+			emit(exp.Table2(scale))
+		case "fig3":
+			t, rows, err := exp.Fig3SOR(scale)
+			emit(t, err)
+			svg("fig3", "Figure 3: SOR", rows)
+		case "fig4":
+			t, rows, err := exp.Fig4Water(scale)
+			emit(t, err)
+			svg("fig4", "Figure 4: Water (per iteration)", rows)
+		case "table3":
+			emit(exp.Table3(scale))
+		case "ablation":
+			emit(exp.AblationTable(), nil)
+		case "schedpolicy":
+			emit(exp.SchedPolicyTable(), nil)
+		case "budget":
+			emit(exp.BudgetTable(), nil)
+		case "buffering":
+			emit(exp.BufferingTable(), nil)
+		case "appablation":
+			emit(exp.AppAblationTable(scale.Quick))
+		case "interrupts":
+			emit(exp.InterruptsTable(), nil)
+		case "sorsizes":
+			emit(exp.SORSizesTable(scale.Quick))
+		default:
+			fmt.Fprintf(os.Stderr, "oamlab: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	for _, name := range names {
+		switch name {
+		case "all":
+			for _, n := range []string{"table1", "bulk", "abortcost", "fig1", "fig2",
+				"table2", "fig3", "fig4", "table3", "ablation", "appablation",
+				"schedpolicy", "budget", "buffering", "interrupts", "sorsizes"} {
+				run(n)
+			}
+		case "micro":
+			for _, n := range []string{"table1", "bulk", "abortcost"} {
+				run(n)
+			}
+		default:
+			run(name)
+		}
+	}
+}

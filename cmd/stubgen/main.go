@@ -1,0 +1,48 @@
+// Command stubgen compiles remote-procedure specifications (.rpc files)
+// into Go stub code over the Optimistic RPC runtime:
+//
+//	stubgen -in spec.rpc -out spec_gen.go
+//
+// See package stubc for the specification language.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stubc"
+)
+
+func main() {
+	in := flag.String("in", "", "input .rpc specification file")
+	out := flag.String("out", "", "output .go file (default: stdout)")
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "stubgen: -in is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+	f, err := stubc.Parse(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %s: %v\n", *in, err)
+		os.Exit(1)
+	}
+	code, err := stubc.Generate(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,201 @@
+package am
+
+import (
+	"fmt"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// HandlerID names a registered handler. IDs are machine-wide: like an SPMD
+// program image, every node shares one handler table.
+type HandlerID int
+
+// Handler is an Active Message handler. It runs inline on the polling
+// context c (c.T == nil): it must not block, and should be short. pkt is
+// the delivered packet; Payload is the sender's marshaled data.
+type Handler func(c threads.Ctx, pkt *cm5.Packet)
+
+// Stats counts per-universe Active Message activity.
+type Stats struct {
+	HandlersRun uint64
+	Sends       uint64
+	BulkSends   uint64
+	DrainSpins  uint64       // retries while the destination buffer was full
+	MaxDepth    int          // deepest nested handler execution seen
+	HandlerTime sim.Duration // total virtual CPU time spent inside handlers
+}
+
+// Universe bundles a machine, one thread scheduler per node, and the
+// shared handler table. It is the program image of an SPMD run.
+type Universe struct {
+	m        *cm5.Machine
+	scheds   []*threads.Scheduler
+	eps      []*Endpoint
+	handlers []Handler
+	names    []string
+	stats    Stats
+}
+
+// NewUniverse builds an n-node machine with schedulers and Active Message
+// endpoints installed on every node.
+func NewUniverse(eng *sim.Engine, n int, cost cm5.CostModel) *Universe {
+	u := &Universe{m: cm5.NewMachine(eng, n, cost)}
+	u.scheds = make([]*threads.Scheduler, n)
+	u.eps = make([]*Endpoint, n)
+	for i := 0; i < n; i++ {
+		s := threads.NewScheduler(u.m.Node(i))
+		u.scheds[i] = s
+		ep := &Endpoint{u: u, node: u.m.Node(i), sched: s}
+		u.eps[i] = ep
+		s.SetPoller(ep)
+	}
+	return u
+}
+
+// Machine returns the underlying machine.
+func (u *Universe) Machine() *cm5.Machine { return u.m }
+
+// N returns the node count.
+func (u *Universe) N() int { return u.m.N() }
+
+// Scheduler returns node i's thread scheduler.
+func (u *Universe) Scheduler(i int) *threads.Scheduler { return u.scheds[i] }
+
+// Endpoint returns node i's Active Message endpoint.
+func (u *Universe) Endpoint(i int) *Endpoint { return u.eps[i] }
+
+// Stats returns a snapshot of the universe's AM counters.
+func (u *Universe) Stats() Stats { return u.stats }
+
+// Register adds a handler to the shared table and returns its ID. All
+// registration must happen before the simulation starts, as it would on a
+// real SPMD machine where the handler table is the program text.
+func (u *Universe) Register(name string, h Handler) HandlerID {
+	u.handlers = append(u.handlers, h)
+	u.names = append(u.names, name)
+	return HandlerID(len(u.handlers) - 1)
+}
+
+// HandlerName returns the registration name of id, for diagnostics.
+func (u *Universe) HandlerName(id HandlerID) string { return u.names[id] }
+
+// Endpoint is a node's Active Message interface.
+type Endpoint struct {
+	u     *Universe
+	node  *cm5.Node
+	sched *threads.Scheduler
+	depth int // nested handler executions on this node
+}
+
+// Node returns the endpoint's node.
+func (ep *Endpoint) Node() *cm5.Node { return ep.node }
+
+// packet assembles an outgoing packet.
+func (ep *Endpoint) packet(dst int, h HandlerID, kind cm5.PacketKind, w [4]uint64, payload []byte) *cm5.Packet {
+	if int(h) < 0 || int(h) >= len(ep.u.handlers) {
+		panic(fmt.Sprintf("am: send to unregistered handler %d", h))
+	}
+	return &cm5.Packet{
+		Src: ep.node.ID(), Dst: dst, Kind: kind, Handler: int(h),
+		W0: w[0], W1: w[1], W2: w[2], W3: w[3], Payload: payload,
+	}
+}
+
+// TrySend attempts a non-blocking send of a small Active Message and
+// reports whether it was injected. Failure means the destination's input
+// buffer is full — the "network busy" condition that makes an optimistic
+// execution abort.
+func (ep *Endpoint) TrySend(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) bool {
+	if ep.node.TryInject(c.P, ep.packet(dst, h, cm5.Small, w, payload)) {
+		ep.u.stats.Sends++
+		return true
+	}
+	return false
+}
+
+// Send transmits a small Active Message, draining incoming messages while
+// the destination's buffer is full (the CMMD deadlock-avoidance protocol:
+// the send routine polls the network before sending).
+func (ep *Endpoint) Send(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) {
+	pkt := ep.packet(dst, h, cm5.Small, w, payload)
+	ep.sendDraining(c, pkt)
+	ep.u.stats.Sends++
+}
+
+// SendBulk transmits a block transfer (the scopy path), draining while the
+// destination's buffer is full. The sending CPU is busy for the setup and
+// streaming time.
+func (ep *Endpoint) SendBulk(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) {
+	pkt := ep.packet(dst, h, cm5.Bulk, w, payload)
+	ep.sendDraining(c, pkt)
+	ep.u.stats.BulkSends++
+}
+
+// TrySendBulk is the non-blocking bulk variant.
+func (ep *Endpoint) TrySendBulk(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) bool {
+	if ep.node.TryInject(c.P, ep.packet(dst, h, cm5.Bulk, w, payload)) {
+		ep.u.stats.BulkSends++
+		return true
+	}
+	return false
+}
+
+func (ep *Endpoint) sendDraining(c threads.Ctx, pkt *cm5.Packet) {
+	for !ep.node.TryInject(c.P, pkt) {
+		ep.u.stats.DrainSpins++
+		// Drain our own input while waiting for room: handle one packet
+		// if present, otherwise burn a poll and retry. Time advances, the
+		// destination eventually polls, and space appears.
+		ep.pollOnce(c)
+	}
+}
+
+// Poll services at most one incoming message, running its handler inline
+// on this context, and reports whether one was handled. Applications and
+// the thread scheduler's idle loop call this; so does Send while draining.
+func (ep *Endpoint) Poll(c threads.Ctx) bool { return ep.pollOnce(c) }
+
+// PollAll services incoming messages until the input queue is empty,
+// returning the number handled.
+func (ep *Endpoint) PollAll(c threads.Ctx) int {
+	n := 0
+	for ep.node.Pending() > 0 {
+		if ep.pollOnce(c) {
+			n++
+		}
+	}
+	return n
+}
+
+// PollOnce implements threads.Poller for the scheduler idle loop.
+func (ep *Endpoint) PollOnce(c threads.Ctx) bool { return ep.pollOnce(c) }
+
+func (ep *Endpoint) pollOnce(c threads.Ctx) bool {
+	pkt := ep.node.PollPacket(c.P)
+	if pkt == nil {
+		return false
+	}
+	ep.dispatch(c, pkt)
+	return true
+}
+
+// dispatch runs pkt's handler inline. The handler context is derived from
+// the polling context but has no thread: handlers are not schedulable.
+func (ep *Endpoint) dispatch(c threads.Ctx, pkt *cm5.Packet) {
+	h := ep.u.handlers[pkt.Handler]
+	hc := threads.Ctx{P: c.P, T: nil, S: ep.sched}
+	ep.depth++
+	if ep.depth > ep.u.stats.MaxDepth {
+		ep.u.stats.MaxDepth = ep.depth
+	}
+	c.P.Charge(ep.u.m.Cost().HandlerDispatch)
+	ep.u.stats.HandlersRun++
+	start := c.P.Now()
+	h(hc, pkt)
+	// Nested dispatches (drains inside sends) double-count into their
+	// enclosing handler's window; MaxDepth reports when that happens.
+	ep.u.stats.HandlerTime += c.P.Now().Sub(start)
+	ep.depth--
+}

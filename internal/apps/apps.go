@@ -1,0 +1,119 @@
+// Package apps holds the shared vocabulary of the four evaluation
+// applications (Triangle puzzle, TSP, SOR, Water): which communication
+// system a run uses and what a run reports. The applications themselves
+// live in subpackages.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// System selects the communication system of a run, matching the three
+// implementations the paper compares.
+type System uint8
+
+const (
+	// AM is the hand-coded Active Messages implementation.
+	AM System = iota
+	// ORPC is Optimistic RPC: stubs over Optimistic Active Messages.
+	ORPC
+	// TRPC is Traditional RPC: a thread per incoming call.
+	TRPC
+)
+
+func (s System) String() string {
+	switch s {
+	case AM:
+		return "AM"
+	case ORPC:
+		return "ORPC"
+	case TRPC:
+		return "TRPC"
+	default:
+		return fmt.Sprintf("System(%d)", uint8(s))
+	}
+}
+
+// Systems lists all three in the paper's presentation order.
+var Systems = []System{AM, ORPC, TRPC}
+
+// Result is what one application run reports.
+type Result struct {
+	System  System
+	Nodes   int
+	Elapsed sim.Duration // parallel virtual running time
+	Answer  uint64       // application answer/checksum for validation
+
+	// OAM statistics (ORPC runs; zero otherwise). These are the columns
+	// of Tables 2 and 3.
+	OAMs      uint64
+	Successes uint64
+
+	// Thread statistics.
+	ThreadsCreated uint64
+	LiveStackPct   float64
+
+	// Network statistics.
+	SmallSent uint64
+	BulkSent  uint64
+	BytesSent uint64
+}
+
+// SuccessPercent is the "% Successes" column of Tables 2 and 3.
+func (r *Result) SuccessPercent() float64 {
+	if r.OAMs == 0 {
+		return 100
+	}
+	return 100 * float64(r.Successes) / float64(r.OAMs)
+}
+
+// Speedup computes speedup relative to the sequential running time.
+func (r *Result) Speedup(seq sim.Duration) float64 {
+	if r.Elapsed == 0 {
+		return 0
+	}
+	return float64(seq) / float64(r.Elapsed)
+}
+
+// Service is an application poll point ("carefully tuned polling", section
+// 4): it drains pending messages, running their handlers, and then yields
+// once so that any threads the messages created (TRPC dispatch, OAM
+// promotions) run before the computation resumes — the paper's "run remote
+// procedure calls first" discipline.
+func Service(c threads.Ctx, ep *am.Endpoint) {
+	ep.PollAll(c)
+	if c.T != nil {
+		// Run any threads the messages created (TRPC dispatch, OAM
+		// promotions) and any threads woken by this computation's own
+		// signals. A yield with nothing runnable costs only the check.
+		c.S.Yield(c)
+	}
+}
+
+// FillResult populates the statistics fields of r from a finished run's
+// universe and dispatch counters.
+func FillResult(r *Result, u *am.Universe, oams, successes uint64) {
+	r.OAMs = oams
+	r.Successes = successes
+	net := u.Machine().Stats()
+	r.SmallSent = net.SmallSent
+	r.BulkSent = net.BulkSent
+	r.BytesSent = net.BytesSent
+	var created, starts, live uint64
+	for i := 0; i < u.N(); i++ {
+		st := u.Scheduler(i).Stats()
+		created += st.Created
+		starts += st.Starts
+		live += st.LiveStackStart
+	}
+	r.ThreadsCreated = created
+	if starts > 0 {
+		r.LiveStackPct = 100 * float64(live) / float64(starts)
+	} else {
+		r.LiveStackPct = 100
+	}
+}

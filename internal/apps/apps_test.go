@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+func TestSystemStrings(t *testing.T) {
+	if AM.String() != "AM" || ORPC.String() != "ORPC" || TRPC.String() != "TRPC" {
+		t.Fatal("system strings")
+	}
+	if System(9).String() == "" {
+		t.Fatal("unknown system string empty")
+	}
+	if len(Systems) != 3 {
+		t.Fatal("Systems list")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Elapsed: sim.Micros(500), OAMs: 200, Successes: 150}
+	if p := r.SuccessPercent(); p != 75 {
+		t.Fatalf("success%% = %v", p)
+	}
+	empty := Result{Elapsed: sim.Micros(1)}
+	if empty.SuccessPercent() != 100 {
+		t.Fatal("no-OAM success should be 100")
+	}
+	if s := r.Speedup(sim.Micros(1000)); s != 2 {
+		t.Fatalf("speedup = %v", s)
+	}
+	if (&Result{}).Speedup(sim.Micros(1)) != 0 {
+		t.Fatal("zero elapsed speedup")
+	}
+}
+
+// TestServiceRunsHandlersAndThreads: Service drains messages and then
+// yields to any threads those messages created.
+func TestServiceRunsHandlersAndThreads(t *testing.T) {
+	eng := sim.New(3)
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	defer eng.Shutdown()
+	handled := false
+	threadRan := false
+	h := u.Register("spawnful", func(c threads.Ctx, pkt *cm5.Packet) {
+		handled = true
+		c.S.Create(c, "spawned", true, func(cc threads.Ctx) { threadRan = true })
+	})
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 0 {
+			ep.Send(c, 1, h, [4]uint64{}, nil)
+			return
+		}
+		for !handled {
+			c.P.Charge(sim.Micros(1))
+			Service(c, ep)
+		}
+		if !threadRan {
+			t.Error("Service did not run the created thread before returning")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFillResult aggregates stats from a real universe.
+func TestFillResult(t *testing.T) {
+	eng := sim.New(3)
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	defer eng.Shutdown()
+	h := u.Register("noop", func(c threads.Ctx, pkt *cm5.Packet) {})
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		if node == 0 {
+			u.Endpoint(0).Send(c, 1, h, [4]uint64{}, nil)
+			u.Endpoint(0).SendBulk(c, 1, h, [4]uint64{}, make([]byte, 100))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Result
+	FillResult(&r, u, 5, 4)
+	if r.OAMs != 5 || r.Successes != 4 {
+		t.Fatal("oam fields")
+	}
+	if r.SmallSent == 0 || r.BulkSent != 1 || r.BytesSent < 100 {
+		t.Fatalf("net fields: %+v", r)
+	}
+	if r.ThreadsCreated != 2 { // the two mains
+		t.Fatalf("threads = %d", r.ThreadsCreated)
+	}
+	if r.LiveStackPct != 100 {
+		t.Fatalf("livestack = %v", r.LiveStackPct)
+	}
+}

@@ -1,0 +1,95 @@
+package triangle
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	trigen "repro/internal/apps/triangle/gen"
+	"repro/internal/cm5"
+	"repro/internal/oam"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// TestCorrectUnderWireJitter: the Triangle search is insensitive to
+// message ordering (inserts commute), so it must produce the exact
+// solution count even when network jitter reorders deliveries. This is a
+// deliberate robustness check on the whole stack under non-FIFO timing.
+func TestCorrectUnderWireJitter(t *testing.T) {
+	b := NewBoard(5)
+	want := b.SolveSeq().Solutions
+
+	eng := sim.New(99)
+	defer eng.Shutdown()
+	cost := cm5.DefaultCostModel()
+	cost.WireJitter = sim.Micros(30)
+	u := am.NewUniverse(eng, 4, cost)
+	rt := rpc.New(u, rpc.Options{Mode: rpc.ORPC})
+
+	nodes := 4
+	states := make([]*nodeState, nodes)
+	for i := range states {
+		states[i] = &nodeState{
+			mu:    threads.NewMutex(u.Scheduler(i)),
+			index: make(map[State]int),
+		}
+	}
+	insert := trigen.DefineInsert(rt, func(e *oam.Env, caller int, state, ways uint64) {
+		ns := states[e.Node()]
+		e.Lock(ns.mu)
+		e.Compute(CostInsert)
+		ns.insert(State(state), ways)
+		ns.recv++
+		e.Unlock(ns.mu)
+	})
+
+	start := b.Canon(b.Start())
+	states[owner(start, nodes)].frontier = []entry{{s: start, ways: 1}}
+	_, err := u.SPMD(func(c threads.Ctx, me int) {
+		ns := states[me]
+		ep := u.Endpoint(me)
+		sched := u.Scheduler(me)
+		var exts []Ext
+		for {
+			for _, ent := range ns.frontier {
+				c.P.Charge(CostExpand)
+				if ent.s.Pegs() == 1 {
+					ns.solutions += ent.ways
+					continue
+				}
+				exts = b.Extensions(ent.s, exts[:0])
+				for _, x := range exts {
+					c.P.Charge(CostMove)
+					ns.sent++
+					insert.CallAsync(c, owner(x.S, nodes), uint64(x.S), ent.ways*x.Mult)
+				}
+			}
+			for {
+				gs := sched.Reduce(c, float64(ns.sent), cm5.ReduceSum)
+				gr := sched.Reduce(c, float64(ns.recv), cm5.ReduceSum)
+				if gs == gr {
+					break
+				}
+				ep.PollAll(c)
+				sched.Yield(c)
+			}
+			ns.frontier = ns.next
+			ns.next = nil
+			ns.index = make(map[State]int)
+			if sched.Reduce(c, float64(len(ns.frontier)), cm5.ReduceSum) == 0 {
+				break
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	for _, ns := range states {
+		got += ns.solutions
+	}
+	if got != want {
+		t.Fatalf("solutions under jitter = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,102 @@
+package triangle
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// cfg5 is the fast test configuration: side 5, 849 positions.
+var cfg5 = Config{Side: 5, Empty: -1, Seed: 7}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	want := NewBoard(5).SolveSeq().Solutions
+	for _, sys := range apps.Systems {
+		for _, n := range []int{1, 2, 4, 7} {
+			res, err := Run(sys, n, cfg5)
+			if err != nil {
+				t.Fatalf("%v/%d: %v", sys, n, err)
+			}
+			if res.Answer != want {
+				t.Errorf("%v/%d: solutions = %d, want %d", sys, n, res.Answer, want)
+			}
+			if res.Elapsed <= 0 {
+				t.Errorf("%v/%d: elapsed = %v", sys, n, res.Elapsed)
+			}
+		}
+	}
+}
+
+// TestORPCNeverAborts: the paper reports that no Triangle RPC blocks
+// ("of which none block"), so ORPC success must be 100%.
+func TestORPCNeverAborts(t *testing.T) {
+	res, err := Run(apps.ORPC, 4, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OAMs == 0 {
+		t.Fatal("no OAMs recorded")
+	}
+	if res.SuccessPercent() != 100 {
+		t.Fatalf("success = %.2f%%, want 100%%", res.SuccessPercent())
+	}
+}
+
+// TestTRPCCreatesThreadPerMessage: in TRPC mode every insert costs a
+// thread; in ORPC mode none do (no aborts).
+func TestTRPCCreatesThreadPerMessage(t *testing.T) {
+	orpc, err := Run(apps.ORPC, 4, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trpc, err := Run(apps.TRPC, 4, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 bootstrap mains plus one thread per extension message.
+	if trpc.ThreadsCreated < orpc.ThreadsCreated+uint64(orpc.OAMs)/2 {
+		t.Fatalf("TRPC threads = %d, ORPC threads = %d, OAMs = %d",
+			trpc.ThreadsCreated, orpc.ThreadsCreated, orpc.OAMs)
+	}
+	if orpc.Elapsed >= trpc.Elapsed {
+		t.Fatalf("ORPC (%v) not faster than TRPC (%v)", orpc.Elapsed, trpc.Elapsed)
+	}
+}
+
+// TestAMAndORPCClose: hand-coded AM and ORPC should be within a modest
+// factor of each other (the paper: "nearly the performance").
+func TestAMAndORPCClose(t *testing.T) {
+	amres, err := Run(apps.AM, 4, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orpc, err := Run(apps.ORPC, 4, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(orpc.Elapsed) / float64(amres.Elapsed)
+	if ratio > 1.35 {
+		t.Fatalf("ORPC/AM = %.2f, want <= 1.35", ratio)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(apps.ORPC, 3, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(apps.ORPC, 3, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Answer != b.Answer || a.OAMs != b.OAMs {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeqTimePositive(t *testing.T) {
+	c := NewBoard(5).SolveSeq()
+	if SeqTime(c) <= 0 {
+		t.Fatal("SeqTime must be positive")
+	}
+}

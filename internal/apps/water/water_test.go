@@ -1,0 +1,188 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// cfgSmall is a fast test configuration.
+var cfgSmall = Config{Mols: 24, Iters: 3, Seed: 9}
+
+func TestSolveSeqDeterministic(t *testing.T) {
+	a := SolveSeq(cfgSmall)
+	b := SolveSeq(cfgSmall)
+	if a != b {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	if a.TimePerIter <= 0 {
+		t.Fatal("non-positive iteration time")
+	}
+}
+
+func TestMoleculesMove(t *testing.T) {
+	s := newState(cfgSmall.Mols, cfgSmall.Seed)
+	before := append([]float64(nil), s.pos...)
+	acc := make([]float64, 3*cfgSmall.Mols)
+	upd := make([]float64, 3*cfgSmall.Mols)
+	accumulateOwned(s.pos, 0, cfgSmall.Mols, cfgSmall.Mols, acc, upd, nil)
+	for i := range acc {
+		acc[i] += upd[i]
+	}
+	integrate(s, 0, cfgSmall.Mols, acc)
+	moved := false
+	for i := range s.pos {
+		if s.pos[i] != before[i] {
+			moved = true
+		}
+		if math.IsNaN(s.pos[i]) || math.IsInf(s.pos[i], 0) {
+			t.Fatalf("position %d is %v", i, s.pos[i])
+		}
+	}
+	if !moved {
+		t.Fatal("no molecule moved")
+	}
+}
+
+// TestNewtonThirdLaw: with the owner-computes-half rule over all
+// molecules, total momentum change must be ~zero (forces cancel).
+func TestNewtonThirdLaw(t *testing.T) {
+	n := 16
+	s := newState(n, 3)
+	acc := make([]float64, 3*n)
+	upd := make([]float64, 3*n)
+	accumulateOwned(s.pos, 0, n, n, acc, upd, nil)
+	for k := 0; k < 3; k++ {
+		var total float64
+		for i := 0; i < n; i++ {
+			total += acc[3*i+k] + upd[3*i+k]
+		}
+		if math.Abs(total) > 1e-6 {
+			t.Fatalf("net force along %d = %g, want ~0", k, total)
+		}
+	}
+}
+
+// TestParallelMatchesSequential: every system/variant/partitioning must
+// produce the sequential trajectory (up to quantization).
+func TestParallelMatchesSequential(t *testing.T) {
+	want := SolveSeq(cfgSmall).Checksum
+	for _, sys := range apps.Systems {
+		for _, n := range []int{1, 2, 4} {
+			for _, barrier := range []bool{true, false} {
+				if sys == apps.AM && !barrier {
+					continue
+				}
+				res, err := Run(sys, n, barrier, cfgSmall)
+				if err != nil {
+					t.Fatalf("%v/%d/barrier=%v: %v", sys, n, barrier, err)
+				}
+				if res.Answer != want {
+					t.Errorf("%v/%d/barrier=%v: checksum %x, want %x", sys, n, barrier, res.Answer, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBarrierVariantNeverAborts: the paper reports the ORPC-with-barriers
+// version never aborts.
+func TestBarrierVariantNeverAborts(t *testing.T) {
+	res, err := Run(apps.ORPC, 4, true, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OAMs == 0 {
+		t.Fatal("no OAMs recorded")
+	}
+	if res.SuccessPercent() != 100 {
+		t.Fatalf("success = %.2f%%, want 100%%", res.SuccessPercent())
+	}
+}
+
+// TestOAMSuccessHighWithoutBarrier: Table 3: barrier-free success stays
+// above 99%.
+func TestOAMSuccessHighWithoutBarrier(t *testing.T) {
+	res, err := Run(apps.ORPC, 4, false, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.SuccessPercent(); p < 99 {
+		t.Fatalf("success = %.1f%%, want >= 99%%", p)
+	}
+}
+
+// TestMessageCounts: P nodes exchange P(P-1) position messages per
+// iteration plus the update messages of the half-shell topology, all on
+// the bulk path.
+func TestMessageCounts(t *testing.T) {
+	n := 4
+	res, err := Run(apps.ORPC, n, true, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	updMsgs := 0
+	for _, row := range updTopology(cfgSmall.Mols, n) {
+		for _, v := range row {
+			if v {
+				updMsgs++
+			}
+		}
+	}
+	perIter := uint64(n*(n-1) + updMsgs)
+	want := perIter * uint64(cfgSmall.Iters)
+	if res.BulkSent != want {
+		t.Fatalf("BulkSent = %d, want %d", res.BulkSent, want)
+	}
+}
+
+// TestUpdTopologyHalf: each node sends updates to roughly half the other
+// nodes — the paper's "approximately half of them".
+func TestUpdTopologyHalf(t *testing.T) {
+	p := 16
+	topo := updTopology(512, p)
+	for m := 0; m < p; m++ {
+		out := 0
+		for d := 0; d < p; d++ {
+			if topo[m][d] {
+				out++
+			}
+		}
+		if out < p/2-1 || out > p/2+1 {
+			t.Fatalf("node %d sends to %d nodes, want ~%d", m, out, p/2)
+		}
+	}
+}
+
+func TestWaterDeterminism(t *testing.T) {
+	a, err := Run(apps.ORPC, 3, false, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(apps.ORPC, 3, false, cfgSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Answer != b.Answer || a.OAMs != b.OAMs {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestMolPartition(t *testing.T) {
+	for _, p := range []int{1, 3, 7, 128} {
+		covered := 0
+		prevHi := 0
+		for i := 0; i < p; i++ {
+			lo, hi := molPartition(512, p, i)
+			if lo != prevHi {
+				t.Fatalf("p=%d gap at %d", p, i)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != 512 {
+			t.Fatalf("p=%d covered %d", p, covered)
+		}
+	}
+}

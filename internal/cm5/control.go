@@ -1,0 +1,248 @@
+package cm5
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ReduceOp selects the combining operator of a control-network reduction.
+type ReduceOp uint8
+
+const (
+	ReduceSum ReduceOp = iota
+	ReduceMax
+	ReduceMin
+)
+
+func (op ReduceOp) combine(a, b float64) float64 {
+	switch op {
+	case ReduceSum:
+		return a + b
+	case ReduceMax:
+		if a > b {
+			return a
+		}
+		return b
+	case ReduceMin:
+		if a < b {
+			return a
+		}
+		return b
+	default:
+		panic("cm5: unknown reduce op")
+	}
+}
+
+// ctlRound is one round of a collective operation. Rounds are identified
+// by a per-primitive epoch; every node contributes exactly once per round
+// and waits exactly once per round (the barrier fuses the two).
+type ctlRound struct {
+	entered      []bool
+	count        int
+	orVal        bool
+	redVal       float64
+	released     bool
+	waiters      []func(or bool, red float64)
+	pendingWaits int
+}
+
+// collective implements one collective primitive (barrier, global OR, or
+// reduction) of the control network.
+type collective struct {
+	m         *Machine
+	latency   func(*CostModel) sim.Duration
+	rounds    map[uint64]*ctlRound
+	enterEp   []uint64 // rounds entered per node
+	waitEp    []uint64 // rounds waited per node
+	redOp     ReduceOp
+	redSeeded bool
+}
+
+func newCollective(m *Machine, latency func(*CostModel) sim.Duration) *collective {
+	return &collective{
+		m:       m,
+		latency: latency,
+		rounds:  make(map[uint64]*ctlRound),
+		enterEp: make([]uint64, m.N()),
+		waitEp:  make([]uint64, m.N()),
+	}
+}
+
+func (c *collective) round(epoch uint64) *ctlRound {
+	r, ok := c.rounds[epoch]
+	if !ok {
+		n := c.m.N()
+		r = &ctlRound{entered: make([]bool, n), pendingWaits: n}
+		c.rounds[epoch] = r
+	}
+	return r
+}
+
+// enter records node's contribution to its next round and completes the
+// round if this was the last contribution. It does not block.
+func (c *collective) enter(node int, or bool, red float64) {
+	epoch := c.enterEp[node]
+	if epoch != c.waitEp[node] {
+		panic(fmt.Sprintf("cm5: node %d entered a collective twice without waiting", node))
+	}
+	c.enterEp[node] = epoch + 1
+	r := c.round(epoch)
+	if r.entered[node] {
+		panic(fmt.Sprintf("cm5: node %d double-entered collective round %d", node, epoch))
+	}
+	r.entered[node] = true
+	r.orVal = r.orVal || or
+	if r.count == 0 {
+		r.redVal = red
+	} else {
+		r.redVal = c.redOp.combine(r.redVal, red)
+	}
+	r.count++
+	if r.count == c.m.N() {
+		c.m.eng.After(c.latency(&c.m.cost), func() {
+			r.released = true
+			ws := r.waiters
+			r.waiters = nil
+			for _, w := range ws {
+				w(r.orVal, r.redVal)
+			}
+		})
+	}
+}
+
+// waitAsync consumes node's wait for its last-entered round. If the round
+// has already combined, it returns (true, or, red) and cb is never called.
+// Otherwise it returns ready == false and cb fires — in kernel context —
+// when the round releases.
+func (c *collective) waitAsync(node int, cb func(or bool, red float64)) (ready, or bool, red float64) {
+	epoch := c.waitEp[node]
+	if epoch >= c.enterEp[node] {
+		panic(fmt.Sprintf("cm5: node %d waited on a collective without entering", node))
+	}
+	c.waitEp[node] = epoch + 1
+	r := c.rounds[epoch]
+	done := func() {
+		r.pendingWaits--
+		if r.pendingWaits == 0 {
+			delete(c.rounds, epoch)
+		}
+	}
+	if r.released {
+		done()
+		return true, r.orVal, r.redVal
+	}
+	r.waiters = append(r.waiters, func(or bool, red float64) {
+		done()
+		cb(or, red)
+	})
+	return false, false, 0
+}
+
+// wait blocks node (parking p) until the round it last entered is released,
+// then returns that round's combined values.
+func (c *collective) wait(p *sim.Proc, node int) (bool, float64) {
+	var orOut bool
+	var redOut float64
+	ready, or, red := c.waitAsync(node, func(o bool, r float64) {
+		orOut, redOut = o, r
+		p.Unpark()
+	})
+	if ready {
+		return or, red
+	}
+	p.Park()
+	return orOut, redOut
+}
+
+// controlNetwork bundles the machine's collective primitives. The CM-5
+// control network supplies a hardware barrier, a split-phase global-OR
+// (the "set and get pair" of the paper), and hardware reductions.
+type controlNetwork struct {
+	barrier *collective
+	or      *collective
+	reduce  *collective
+}
+
+func newControlNetwork(m *Machine) *controlNetwork {
+	return &controlNetwork{
+		barrier: newCollective(m, func(c *CostModel) sim.Duration { return c.BarrierLatency }),
+		or:      newCollective(m, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+		reduce:  newCollective(m, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+	}
+}
+
+// Barrier blocks until every node of the machine has called Barrier for
+// the same round. p must be running on this node's CPU. This parks the
+// raw process; thread code should use the scheduler's Barrier wrapper so
+// other threads can run while waiting.
+func (n *Node) Barrier(p *sim.Proc) {
+	b := n.m.ctl.barrier
+	b.enter(n.id, false, 0)
+	b.wait(p, n.id)
+}
+
+// BarrierEnter contributes node's arrival to the current barrier round
+// without blocking. Pair with BarrierWaitAsync.
+func (n *Node) BarrierEnter() { n.m.ctl.barrier.enter(n.id, false, 0) }
+
+// BarrierWaitAsync consumes the barrier wait: it reports true if the
+// round has already released; otherwise cb fires (in kernel context) on
+// release.
+func (n *Node) BarrierWaitAsync(cb func()) bool {
+	ready, _, _ := n.m.ctl.barrier.waitAsync(n.id, func(bool, float64) { cb() })
+	return ready
+}
+
+// ReduceEnter contributes val to the current reduction round under op
+// without blocking. Pair with ReduceWaitAsync.
+func (n *Node) ReduceEnter(val float64, op ReduceOp) {
+	r := n.m.ctl.reduce
+	r.redOp = op
+	r.enter(n.id, false, val)
+}
+
+// ReduceWaitAsync consumes the reduction wait: ready is true (with the
+// combined value) if the round has already released; otherwise cb fires
+// (in kernel context) with the combined value on release.
+func (n *Node) ReduceWaitAsync(cb func(float64)) (ready bool, val float64) {
+	ready, _, val = n.m.ctl.reduce.waitAsync(n.id, func(_ bool, red float64) { cb(red) })
+	return ready, val
+}
+
+// ORWaitAsync consumes the global-OR wait: ready is true (with the OR
+// value) if the round has already combined; otherwise cb fires (in
+// kernel context) with the value on release.
+func (n *Node) ORWaitAsync(cb func(bool)) (ready, val bool) {
+	ready, val, _ = n.m.ctl.or.waitAsync(n.id, func(or bool, _ float64) { cb(or) })
+	return ready, val
+}
+
+// OREnter contributes v to the current split-phase global-OR round and
+// returns immediately. Pair each OREnter with exactly one ORWait.
+func (n *Node) OREnter(v bool) {
+	n.m.ctl.or.enter(n.id, v, 0)
+}
+
+// ORWait blocks until the global-OR round this node last entered has
+// combined, and returns the OR across all nodes. Together with OREnter it
+// forms a split-phase barrier: enter, overlap computation, wait.
+func (n *Node) ORWait(p *sim.Proc) bool {
+	or, _ := n.m.ctl.or.wait(p, n.id)
+	return or
+}
+
+// Reduce performs a blocking all-node reduction of val under op and
+// returns the combined value on every node.
+//
+// The operator is fixed per machine per round; mixing operators across
+// nodes within one round is a programming error that this implementation
+// does not detect (the first arriving operator wins). The evaluated
+// applications only ever use one operator per call site.
+func (n *Node) Reduce(p *sim.Proc, val float64, op ReduceOp) float64 {
+	r := n.m.ctl.reduce
+	r.redOp = op
+	r.enter(n.id, false, val)
+	_, out := r.wait(p, n.id)
+	return out
+}

@@ -1,0 +1,17 @@
+// Package cm5 models a CM-5-class multicomputer: a set of nodes joined by
+// a data network with bounded network-interface buffers and by a control
+// network providing barriers, split-phase global-OR, and reductions.
+//
+// The model is deliberately software-centric. The paper's phenomena —
+// thread-management overhead, handler abort rates, saturation of a master
+// node — are functions of per-operation software costs and of the
+// queueing/blocking structure of the network interface. Both are modeled
+// explicitly: every operation charges virtual time from a CostModel whose
+// defaults are the constants measured on the real machine (32 MHz CM-5
+// SPARC nodes, CMMD 3.2), and every network-interface input queue is
+// bounded, so "network full" is a real, observable state with backpressure.
+//
+// Layering: package cm5 moves packets and reserves buffer space; it does
+// not know what a handler is. Package am builds Active Messages dispatch
+// on top; packages threads/oam/rpc build upward from there.
+package cm5

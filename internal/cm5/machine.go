@@ -1,0 +1,169 @@
+package cm5
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Machine is a simulated multicomputer: N nodes, a data network, and a
+// control network. All methods must be called from simulation context
+// (process bodies or kernel callbacks) — the machine is as single-threaded
+// as the kernel that drives it.
+type Machine struct {
+	eng   *sim.Engine
+	cost  CostModel
+	nodes []*Node
+	ctl   *controlNetwork
+	stats NetStats
+}
+
+// NetStats aggregates data-network traffic counters.
+type NetStats struct {
+	SmallSent    uint64
+	BulkSent     uint64
+	BytesSent    uint64
+	FullRejects  uint64 // TryInject calls rejected because the NIC was full
+	MaxQueueSeen int    // high-water mark across all NIC input queues
+}
+
+// NewMachine creates a machine with n nodes.
+func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
+	if n < 1 {
+		panic("cm5: machine needs at least one node")
+	}
+	m := &Machine{eng: eng, cost: cost}
+	m.nodes = make([]*Node, n)
+	for i := range m.nodes {
+		m.nodes[i] = &Node{id: i, m: m, nic: newNIC(cost.NICQueueCap)}
+	}
+	m.ctl = newControlNetwork(m)
+	return m
+}
+
+// Engine returns the simulation engine driving this machine.
+func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Cost returns the machine's cost model.
+func (m *Machine) Cost() CostModel { return m.cost }
+
+// N returns the number of nodes.
+func (m *Machine) N() int { return len(m.nodes) }
+
+// Node returns node i.
+func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+
+// Stats returns a copy of the machine's traffic counters.
+func (m *Machine) Stats() NetStats { return m.stats }
+
+// Node is one processor of the machine. The node itself is passive: the
+// thread package supplies its CPU (a simulation process), and the am
+// package supplies its packet dispatch routine.
+type Node struct {
+	id  int
+	m   *Machine
+	nic *nic
+
+	// wake, if non-nil, is invoked (in kernel context) when a packet is
+	// delivered into this node's input queue. The thread scheduler
+	// registers its idle process here so delivery can end an idle wait.
+	wake func()
+}
+
+// ID returns the node number, 0-based.
+func (n *Node) ID() int { return n.id }
+
+// Machine returns the owning machine.
+func (n *Node) Machine() *Machine { return n.m }
+
+// SetWake registers fn to be called whenever a packet is delivered into
+// this node's input queue. Pass nil to clear.
+func (n *Node) SetWake(fn func()) { n.wake = fn }
+
+// Pending reports how many received packets are waiting to be polled.
+func (n *Node) Pending() int { return n.nic.pending() }
+
+// InFlight reports whether any packets are reserved toward this node but
+// not yet delivered.
+func (n *Node) InFlight() bool { return n.nic.reserved > 0 }
+
+// NetworkFull reports whether an injection toward dst would be refused
+// right now. This is the OAM "network busy" abort condition.
+func (n *Node) NetworkFull(dst int) bool {
+	return n.m.nodes[dst].nic.full()
+}
+
+// TryInject attempts to send pkt from this node. On success it charges the
+// sending process the CPU cost of the injection (including, for bulk
+// transfers, the streaming time — the CM-5 scopy keeps the sending
+// processor busy), schedules delivery, and returns true. If the
+// destination's input buffer is full it charges nothing and returns false.
+//
+// p must be the running process, executing on this node's CPU.
+func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
+	if pkt.Src != n.id {
+		panic(fmt.Sprintf("cm5: packet src %d injected from node %d", pkt.Src, n.id))
+	}
+	if pkt.Dst < 0 || pkt.Dst >= len(n.m.nodes) {
+		panic(fmt.Sprintf("cm5: packet dst %d out of range", pkt.Dst))
+	}
+	dst := n.m.nodes[pkt.Dst]
+	if dst.nic.full() {
+		n.m.stats.FullRejects++
+		return false
+	}
+	cost := &n.m.cost
+	var busy sim.Duration
+	switch pkt.Kind {
+	case Small:
+		if len(pkt.Payload) > cost.MaxPayload {
+			panic(fmt.Sprintf("cm5: small packet payload %d exceeds max %d", len(pkt.Payload), cost.MaxPayload))
+		}
+		busy = cost.PacketSendOverhead
+		n.m.stats.SmallSent++
+	case Bulk:
+		busy = cost.BulkSetup + sim.Duration(len(pkt.Payload))*cost.BulkPerByte
+		n.m.stats.BulkSent++
+	default:
+		panic("cm5: unknown packet kind")
+	}
+	n.m.stats.BytesSent += uint64(len(pkt.Payload))
+	dst.nic.reserve()
+	eng := n.m.eng
+	wire := cost.WireLatency
+	if cost.WireJitter > 0 {
+		// Deterministic jitter from the engine's seeded source. Note
+		// that jitter can reorder same-pair deliveries; the layers above
+		// do not depend on FIFO ordering (RPC matches replies by call
+		// id), but applications relying on it should keep jitter off.
+		wire += sim.Duration(eng.Rand().Int63n(int64(cost.WireJitter)))
+	}
+	// The sender's CPU is busy for the injection; the packet leaves at the
+	// end of that window and lands WireLatency later.
+	p.Charge(busy)
+	eng.After(wire, func() {
+		dst.nic.deliver(pkt)
+		if q := dst.nic.pending(); q > n.m.stats.MaxQueueSeen {
+			n.m.stats.MaxQueueSeen = q
+		}
+		if dst.wake != nil {
+			dst.wake()
+		}
+	})
+	return true
+}
+
+// PollPacket checks the input queue, charging poll cost. If a packet is
+// waiting it is ejected (charging the receive overhead) and returned;
+// otherwise PollPacket returns nil. Dispatching the packet to a handler is
+// the caller's job (package am).
+func (n *Node) PollPacket(p *sim.Proc) *Packet {
+	cost := &n.m.cost
+	pkt := n.nic.pop()
+	if pkt == nil {
+		p.Charge(cost.PollEmpty)
+		return nil
+	}
+	p.Charge(cost.PacketRecvOverhead)
+	return pkt
+}

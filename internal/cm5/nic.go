@@ -1,0 +1,59 @@
+package cm5
+
+// nic is a node's network interface: a bounded FIFO input queue plus a
+// count of slots reserved by packets still in flight toward this node.
+// Reserving at injection time gives lossless bounded buffering: a sender
+// that cannot reserve a slot observes "network full" (and may block, drain,
+// or abort — policy belongs to the layers above).
+type nic struct {
+	queue    []*Packet // FIFO; head at index 0 of the ring
+	head     int
+	count    int
+	reserved int
+	cap      int
+}
+
+func newNIC(capacity int) *nic {
+	if capacity < 1 {
+		panic("cm5: NIC capacity must be positive")
+	}
+	return &nic{queue: make([]*Packet, capacity), cap: capacity}
+}
+
+// full reports whether a new injection toward this NIC would exceed the
+// buffer (queued plus in-flight reservations).
+func (n *nic) full() bool { return n.count+n.reserved >= n.cap }
+
+// reserve claims a slot for an in-flight packet. Callers must check full
+// first; over-reservation is a programming error.
+func (n *nic) reserve() {
+	if n.full() {
+		panic("cm5: NIC reservation overflow")
+	}
+	n.reserved++
+}
+
+// deliver converts a reservation into a queued packet.
+func (n *nic) deliver(p *Packet) {
+	if n.reserved <= 0 {
+		panic("cm5: delivery without reservation")
+	}
+	n.reserved--
+	n.queue[(n.head+n.count)%n.cap] = p
+	n.count++
+}
+
+// pop removes and returns the packet at the head of the queue, or nil.
+func (n *nic) pop() *Packet {
+	if n.count == 0 {
+		return nil
+	}
+	p := n.queue[n.head]
+	n.queue[n.head] = nil
+	n.head = (n.head + 1) % n.cap
+	n.count--
+	return p
+}
+
+// pending reports the number of queued (already delivered) packets.
+func (n *nic) pending() int { return n.count }

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleCluster shows the smallest complete program: a counter server
+// and a client, with the call executing inside the message handler.
+func ExampleCluster() {
+	c := core.NewCluster(core.Options{Nodes: 2, Seed: 1})
+	count := 0
+	inc := c.Define("inc", func(e *core.Env, caller int, arg []byte) []byte {
+		count++
+		return nil
+	})
+	_, err := c.Run(func(ctx core.Ctx, node int) {
+		if node == 0 {
+			inc.Call(ctx, 1, nil)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := c.OAMStats()
+	fmt.Printf("count=%d handled-in-handler=%d\n", count, st.Succeeded)
+	// Output: count=1 handled-in-handler=1
+}
+
+// ExampleCluster_blocking shows a remote procedure that blocks on a
+// condition variable — legal under Optimistic Active Messages because the
+// execution is promoted to a thread when the condition is false.
+func ExampleCluster_blocking() {
+	c := core.NewCluster(core.Options{Nodes: 2, Seed: 1})
+	mu := c.NewMutex(1)
+	cv := c.NewCond(mu)
+	stock := 0
+	buy := c.Define("buy", func(e *core.Env, caller int, arg []byte) []byte {
+		e.Lock(mu)
+		e.Await(cv, func() bool { return stock > 0 })
+		stock--
+		e.Unlock(mu)
+		return nil
+	})
+	_, err := c.Run(func(ctx core.Ctx, node int) {
+		if node == 0 {
+			buy.Call(ctx, 1, nil) // blocks until restocked
+			fmt.Println("bought")
+			return
+		}
+		// Poll the request in while the shelf is empty (the optimistic
+		// attempt aborts and is promoted), then restock.
+		ep := c.Universe().Endpoint(1)
+		for c.OAMStats().Total == 0 {
+			ep.Poll(ctx)
+		}
+		mu.Lock(ctx)
+		stock = 1
+		cv.Signal(ctx)
+		mu.Unlock(ctx)
+	})
+	if err != nil {
+		panic(err)
+	}
+	st := c.OAMStats()
+	fmt.Printf("promoted=%d\n", st.Promoted)
+	// Output:
+	// bought
+	// promoted=1
+}

@@ -1,0 +1,273 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/apps"
+	"repro/internal/apps/tsp"
+	"repro/internal/cm5"
+	"repro/internal/oam"
+	"repro/internal/rpc"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// AblationRow is one promotion-strategy measurement.
+type AblationRow struct {
+	Strategy  string
+	Elapsed   sim.Duration
+	OAMs      uint64
+	Succ      uint64
+	Promoted  uint64
+	Adopted   uint64 // lazily promoted in place (continuation only)
+	Nacked    uint64
+	CallsMade uint64
+}
+
+// Ablation compares the three abort strategies of section 2 — rerun,
+// continuation (lazy promotion), and negative acknowledgment — on a
+// contended workload: several clients increment a counter whose lock the
+// server's own thread holds about half the time. The paper's prototype
+// implements rerun only; this experiment is the design-space exploration
+// the mechanism enables.
+func Ablation() []AblationRow {
+	var rows []AblationRow
+	for _, strat := range []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack} {
+		rows = append(rows, runAblation(strat))
+	}
+	return rows
+}
+
+func runAblation(strat oam.Strategy) AblationRow {
+	const (
+		clients = 3
+		calls   = 100
+	)
+	eng := sim.New(9)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, clients+1, cm5.DefaultCostModel())
+	rt := rpc.New(u, rpc.Options{Mode: rpc.ORPC, OAM: oam.Options{Strategy: strat}})
+	mu := threads.NewMutex(u.Scheduler(0))
+	count := 0
+	inc := rt.Define("inc", func(e *oam.Env, caller int, arg []byte) []byte {
+		e.Lock(mu)
+		e.Compute(sim.Micros(3))
+		count++
+		e.Unlock(mu)
+		return nil
+	})
+	doneClients := 0
+	done := rt.DefineAsync("done", func(e *oam.Env, caller int, arg []byte) []byte {
+		doneClients++
+		return nil
+	})
+	elapsed, err := u.SPMD(func(c threads.Ctx, node int) {
+		if node == 0 {
+			// Server thread: alternately holds the lock while polling
+			// (forcing aborts) and releases it.
+			ep := u.Endpoint(0)
+			for doneClients < clients {
+				mu.Lock(c)
+				for i := 0; i < 10; i++ {
+					ep.Poll(c)
+					c.P.Charge(sim.Micros(2))
+				}
+				mu.Unlock(c)
+				c.S.Yield(c)
+				ep.Poll(c)
+				c.S.Yield(c)
+			}
+			return
+		}
+		for i := 0; i < calls; i++ {
+			inc.Call(c, 0, nil)
+		}
+		done.CallAsync(c, 0, nil)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: ablation/%v deadlocked: %v", strat, err))
+	}
+	if count != clients*calls {
+		panic(fmt.Sprintf("exp: ablation/%v lost increments: %d", strat, count))
+	}
+	st := rt.Dispatcher().Stats()
+	adopted := uint64(0)
+	for i := 0; i <= clients; i++ {
+		adopted += u.Scheduler(i).Stats().Adopted
+	}
+	return AblationRow{
+		Strategy: strat.String(),
+		Elapsed:  sim.Duration(elapsed),
+		OAMs:     st.Total, Succ: st.Succeeded,
+		Promoted: st.Promoted, Adopted: adopted, Nacked: st.Nacked,
+		CallsMade: inc.Stats().Calls,
+	}
+}
+
+// AblationTable formats the strategy comparison.
+func AblationTable() *Table {
+	t := &Table{
+		Title: "Promotion-strategy ablation (section 2): contended counter, 3 clients x 100 calls",
+		Columns: []string{"Strategy", "Elapsed(ms)", "OAMs", "Successes",
+			"Promoted", "Adopted", "Nacked", "Client calls"},
+		Notes: []string{
+			"rerun re-executes the body; continuation adopts it in place; nack retries from the sender",
+		},
+	}
+	for _, r := range Ablation() {
+		t.Rows = append(t.Rows, []string{
+			r.Strategy, fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6),
+			u64(r.OAMs), u64(r.Succ), u64(r.Promoted), u64(r.Adopted),
+			u64(r.Nacked), u64(r.CallsMade),
+		})
+	}
+	return t
+}
+
+// SchedPolicyRow compares front- vs back-of-queue scheduling of incoming
+// RPC threads (section 4.1: front always won).
+type SchedPolicyRow struct {
+	Policy  string
+	Elapsed sim.Duration
+}
+
+// SchedPolicy measures TRPC latency under both ready-queue policies on a
+// request-chain workload where prompt execution of incoming calls
+// matters: each client's next call depends on its previous reply while a
+// competing computation thread keeps the server busy.
+func SchedPolicy() []SchedPolicyRow {
+	run := func(back bool) sim.Duration {
+		eng := sim.New(3)
+		defer eng.Shutdown()
+		u := am.NewUniverse(eng, 3, cm5.DefaultCostModel())
+		rt := rpc.New(u, rpc.Options{Mode: rpc.TRPC, BackOfQueue: back})
+		count := 0
+		inc := rt.Define("inc", func(e *oam.Env, caller int, arg []byte) []byte {
+			e.Compute(sim.Micros(2))
+			count++
+			return nil
+		})
+		stop := false
+		stopP := rt.DefineAsync("stop", func(e *oam.Env, caller int, arg []byte) []byte {
+			stop = true
+			return nil
+		})
+		elapsed, err := u.SPMD(func(c threads.Ctx, node int) {
+			switch node {
+			case 0:
+				// Server: a computation thread that yields between work
+				// quanta, plus background threads competing for the CPU.
+				for i := 0; i < 3; i++ {
+					c.S.Create(c, "bg", false, func(cc threads.Ctx) {
+						for !stop {
+							cc.P.Charge(sim.Micros(20))
+							cc.S.Yield(cc)
+						}
+					})
+				}
+				ep := u.Endpoint(0)
+				for !stop {
+					ep.Poll(c)
+					c.P.Charge(sim.Micros(20))
+					c.S.Yield(c)
+				}
+			case 1:
+				for i := 0; i < 200; i++ {
+					inc.Call(c, 0, nil)
+				}
+				stopP.CallAsync(c, 0, nil)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("exp: schedpolicy deadlocked: %v", err))
+		}
+		return sim.Duration(elapsed)
+	}
+	return []SchedPolicyRow{
+		{Policy: "front-of-queue", Elapsed: run(false)},
+		{Policy: "back-of-queue", Elapsed: run(true)},
+	}
+}
+
+// SchedPolicyTable formats the scheduling-policy comparison.
+func SchedPolicyTable() *Table {
+	t := &Table{
+		Title:   "Incoming-thread scheduling policy (section 4.1), TRPC request chain",
+		Columns: []string{"Policy", "Elapsed(ms)"},
+		Notes:   []string{"paper: back-of-queue always performed worse"},
+	}
+	for _, r := range SchedPolicy() {
+		t.Rows = append(t.Rows, []string{r.Policy, fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6)})
+	}
+	return t
+}
+
+// AppAblationRow compares abort strategies on a real application.
+type AppAblationRow struct {
+	App      string
+	Strategy string
+	Elapsed  sim.Duration
+	SuccPct  float64
+}
+
+// AppAblation runs the TSP application (the one whose GetJob procedure
+// actually blocks under load) under each abort strategy at a slave count
+// where contention matters.
+func AppAblation(quick bool) ([]AppAblationRow, error) {
+	cfg := tsp.Config{Cities: 12, Seed: 102}
+	slaves := 64
+	if quick {
+		cfg.Cities = 10
+		slaves = 12
+	}
+	var rows []AppAblationRow
+	for _, strat := range []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack} {
+		c := cfg
+		c.Strategy = strat
+		res, err := tsp.Run(apps.ORPC, slaves, c)
+		if err != nil {
+			return nil, fmt.Errorf("app ablation %v: %w", strat, err)
+		}
+		rows = append(rows, AppAblationRow{
+			App: "tsp", Strategy: strat.String(),
+			Elapsed: res.Elapsed, SuccPct: res.SuccessPercent(),
+		})
+	}
+	return rows, nil
+}
+
+// AppAblationTable formats the application-level strategy comparison.
+func AppAblationTable(quick bool) (*Table, error) {
+	rows, err := AppAblation(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Abort-strategy ablation on TSP (contended GetJob)",
+		Columns: []string{"App", "Strategy", "Elapsed(s)", "OAM success %"},
+		Notes: []string{
+			"the paper's prototype uses rerun; continuation and nack are the section 2 alternatives",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.App, r.Strategy, seconds(r.Elapsed), f1(r.SuccPct),
+		})
+	}
+	return t, nil
+}
+
+// AbortCostTable formats the abort-cost measurement (section 4.1.1).
+func AbortCostTable() *Table {
+	live, busy := AbortCost()
+	return &Table{
+		Title:   "Abort cost (section 4.1.1)",
+		Columns: []string{"Case", "Cost (us)"},
+		Rows: [][]string{
+			{"live-stack (idle server)", us(live)},
+			{"with context switch (busy server)", us(busy)},
+		},
+		Notes: []string{"paper: 7 us or 60 us depending on the live-stack optimization"},
+	}
+}

@@ -1,0 +1,75 @@
+// Package exp is the experiment harness: one function per table and
+// figure of the paper's evaluation (section 4), each returning printable
+// rows so cmd/oamlab and the benchmarks can regenerate them.
+//
+// Every experiment runs at the paper's problem size by default; the Quick
+// variants shrink sizes so the whole suite runs in seconds (used by the
+// tests and the default benchmarks).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Table is a generic printable result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Print renders the table in a paper-like fixed-width layout.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], cell)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	total := 2
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	fmt.Fprintf(w, "  %s\n", strings.Repeat("-", total-2))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", strings.Join(t.Columns, ","))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%s\n", strings.Join(row, ","))
+	}
+}
+
+func us(d sim.Duration) string      { return fmt.Sprintf("%.1f", float64(d)/1000) }
+func seconds(d sim.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }
+func f1(v float64) string           { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string           { return fmt.Sprintf("%.2f", v) }
+func itoa(v int) string             { return fmt.Sprintf("%d", v) }
+func u64(v uint64) string           { return fmt.Sprintf("%d", v) }

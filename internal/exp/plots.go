@@ -1,0 +1,67 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/plot"
+)
+
+// FigPlots converts harness curve points into the two panels of a paper
+// figure: log-log runtime and log-log speedup (with the ideal line), in
+// the exact layout of Figures 1-4.
+func FigPlots(name string, rows []FigRow) (runtime, speedup *plot.Plot) {
+	bySystem := map[string]*plot.Series{}
+	var order []string
+	for _, r := range rows {
+		s, ok := bySystem[r.System]
+		if !ok {
+			s = &plot.Series{Name: r.System}
+			bySystem[r.System] = s
+			order = append(order, r.System)
+		}
+		s.X = append(s.X, float64(r.Nodes))
+		s.Y = append(s.Y, r.Runtime.Seconds())
+	}
+	runtime = &plot.Plot{
+		Title: name + ": runtime", XLabel: "number of processors",
+		YLabel: "runtime (seconds)", LogX: true, LogY: true,
+	}
+	speedup = &plot.Plot{
+		Title: name + ": speedup", XLabel: "number of processors",
+		YLabel: "speedup (relative to sequential)", LogX: true, LogY: true,
+		Ideal: true,
+	}
+	for _, sys := range order {
+		rt := *bySystem[sys]
+		runtime.Series = append(runtime.Series, rt)
+		var sp plot.Series
+		sp.Name = sys
+		for _, r := range rows {
+			if r.System == sys {
+				sp.X = append(sp.X, float64(r.Nodes))
+				sp.Y = append(sp.Y, r.Speedup)
+			}
+		}
+		speedup.Series = append(speedup.Series, sp)
+	}
+	plot.SortSeriesPoints(runtime.Series)
+	plot.SortSeriesPoints(speedup.Series)
+	return runtime, speedup
+}
+
+// WriteFigSVGs renders both panels of a figure into dir as
+// <base>-runtime.svg and <base>-speedup.svg.
+func WriteFigSVGs(dir, base, title string, rows []FigRow) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	rt, sp := FigPlots(title, rows)
+	if err := os.WriteFile(filepath.Join(dir, base+"-runtime.svg"), []byte(rt.SVG()), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, base+"-speedup.svg"), []byte(sp.SVG()), 0o644); err != nil {
+		return err
+	}
+	return nil
+}

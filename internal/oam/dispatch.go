@@ -1,0 +1,200 @@
+package oam
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// Strategy selects how an aborted optimistic execution is handled; the
+// three options are the three ways to abort of section 2 of the paper.
+type Strategy uint8
+
+const (
+	// Rerun undoes the attempt and re-executes the whole procedure as a
+	// newly created thread. This is the paper prototype's strategy.
+	Rerun Strategy = iota
+	// Continuation promotes the suspended execution itself to a thread
+	// (lazy thread creation): nothing is re-executed.
+	Continuation
+	// Nack undoes the attempt and reports to the caller that a negative
+	// acknowledgment should be sent; the sender backs off and retries.
+	Nack
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Rerun:
+		return "rerun"
+	case Continuation:
+		return "continuation"
+	case Nack:
+		return "nack"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Options configures a Dispatcher.
+type Options struct {
+	Strategy Strategy
+	// HandlerBudget, when positive, bounds the CPU time an optimistic
+	// execution may consume before it aborts with TooLong. Zero disables
+	// the check, like the paper's prototype.
+	HandlerBudget sim.Duration
+	// StrictNetAbort makes Env.Send abort with NetworkFull instead of
+	// relying on the CM-5 drain-while-sending behaviour.
+	StrictNetAbort bool
+}
+
+// Outcome reports what happened to one optimistic dispatch.
+type Outcome uint8
+
+const (
+	// Completed: the procedure ran to completion inside the handler.
+	Completed Outcome = iota
+	// Promoted: the attempt aborted and a thread now owns the procedure.
+	Promoted
+	// NackNeeded: the attempt aborted under the Nack strategy; the caller
+	// (the RPC stub) must send the negative acknowledgment.
+	NackNeeded
+)
+
+// Stats counts dispatches; Tables 2 and 3 of the paper report exactly
+// Total, Succeeded and the success percentage.
+type Stats struct {
+	Total     uint64
+	Succeeded uint64
+	Promoted  uint64
+	Nacked    uint64
+	ByReason  [numReasons]uint64
+}
+
+// SuccessPercent is the "% Successes" column of Tables 2 and 3.
+func (s *Stats) SuccessPercent() float64 {
+	if s.Total == 0 {
+		return 100
+	}
+	return 100 * float64(s.Succeeded) / float64(s.Total)
+}
+
+// Dispatcher runs remote-procedure bodies optimistically. One dispatcher
+// serves a whole universe; per-procedure statistics belong to the RPC
+// layer above.
+type Dispatcher struct {
+	opts  Options
+	stats Stats
+}
+
+// NewDispatcher returns a dispatcher with the given options.
+func NewDispatcher(opts Options) *Dispatcher { return &Dispatcher{opts: opts} }
+
+// Options returns the dispatcher's configuration.
+func (d *Dispatcher) Options() Options { return d.opts }
+
+// Stats returns a snapshot of the dispatch counters.
+func (d *Dispatcher) Stats() Stats { return d.stats }
+
+// NewThreadEnv returns an Env in thread mode, for procedure bodies that
+// always execute as threads (the Traditional RPC path). Every Env
+// operation behaves pessimistically: locks block, condition waits wait,
+// sends go out immediately.
+func NewThreadEnv(c threads.Ctx, ep *am.Endpoint, d *Dispatcher) *Env {
+	return &Env{C: c, ep: ep, d: d, optimistic: false, name: "thread"}
+}
+
+// Run executes body as an Optimistic Active Message on the polling
+// context c (a handler context) of endpoint ep. It returns what became of
+// the execution and, for aborts, why.
+//
+// Rerun and Nack attempt the body inline on c; Continuation attempts it
+// on a lent auxiliary process so that a blocked execution can be adopted
+// as a thread without re-execution.
+func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(*Env)) (Outcome, Reason) {
+	d.stats.Total++
+	if d.opts.Strategy == Continuation {
+		return d.runLent(c, ep, name, body)
+	}
+	env := &Env{C: c, ep: ep, d: d, optimistic: true, name: name}
+	reason, aborted := attempt(env, body)
+	if !aborted {
+		env.commit()
+		d.stats.Succeeded++
+		return Completed, 0
+	}
+	env.undo()
+	d.stats.ByReason[reason]++
+	if d.opts.Strategy == Nack {
+		d.stats.Nacked++
+		return NackNeeded, reason
+	}
+	// Rerun: undo everything and run the whole procedure as a thread.
+	d.stats.Promoted++
+	c.S.Create(c, "oam/"+name, true, func(c2 threads.Ctx) {
+		env2 := &Env{C: c2, ep: ep, d: d, optimistic: false, name: name}
+		body(env2)
+	})
+	return Promoted, reason
+}
+
+// attempt runs body optimistically, converting an abort unwind into a
+// (reason, true) result. Other panics propagate.
+func attempt(env *Env, body func(*Env)) (reason Reason, aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			sig, ok := r.(abortSignal)
+			if !ok {
+				panic(r)
+			}
+			reason, aborted = sig.reason, true
+		}
+	}()
+	body(env)
+	return 0, false
+}
+
+// runLent implements the Continuation strategy: the body executes on an
+// auxiliary process holding the CPU on loan. If it completes, the loan
+// ends and the handler cost was all there was. If it must block, the
+// execution is adopted as a thread in place — lazy thread creation — and
+// the polling context resumes immediately.
+func (d *Dispatcher) runLent(c threads.Ctx, ep *am.Endpoint, name string, body func(*Env)) (Outcome, Reason) {
+	s := c.S
+	var (
+		outcome Outcome
+		reason  Reason
+		settled bool
+	)
+	env := &Env{ep: ep, d: d, optimistic: true, name: name}
+	env.onPromote = func(r Reason) {
+		// First promotion: report back to the dispatcher. The lender is
+		// still parked; it wakes when the adopted thread detaches.
+		outcome, reason, settled = Promoted, r, true
+		d.stats.ByReason[r]++
+		d.stats.Promoted++
+	}
+	eng := c.P.Engine()
+	proc := eng.Spawn("oam/"+name, func(p *sim.Proc) {
+		env.C = threads.Ctx{P: p, T: nil, S: s}
+		body(env)
+		if env.C.T == nil {
+			// Ran to completion inside the handler.
+			env.commit()
+			outcome, settled = Completed, true
+			d.stats.Succeeded++
+			s.FinishLent()
+			return
+		}
+		// Completed as a promoted thread.
+		env.commit()
+		s.FinishAdopted(env.C)
+	})
+	s.Lend(proc)
+	c.P.Park() // until the body finishes or detaches
+	if !settled {
+		panic("oam: lent execution returned control without settling")
+	}
+	return outcome, reason
+}

@@ -1,0 +1,31 @@
+// Package oam implements Optimistic Active Messages, the paper's central
+// mechanism: execute arbitrary user code in an Active Message handler
+// under the optimistic assumptions that it will not block and will finish
+// quickly, and detect at run time when the assumptions fail — in which
+// case the execution aborts and is promoted to a real thread.
+//
+// A remote procedure body is written once against an Env capability and
+// runs in one of two modes. In optimistic mode (inside the handler, on the
+// polling context's stack) Env.Lock is a try-lock that aborts when the
+// lock is held, Env.Await aborts when its predicate is false, Env.Send can
+// abort when the network is full (strict mode), and Env.Compute aborts
+// past the handler time budget. In thread mode the same calls block
+// normally. This mirrors the checks the paper's stub compiler inserts into
+// generated handler code.
+//
+// Aborts are side-effect free: locks acquired during the attempt are
+// released, and outbound messages are buffered until the body commits, so
+// an aborted attempt can simply be re-executed. The paper's prototype
+// restriction — a remote procedure may modify global state only after it
+// has acquired all its locks and tested all its conditions — applies to
+// user state the Env cannot see; the stub compiler (package stubc)
+// generates bodies that obey it.
+//
+// Three abort strategies are provided, matching section 2 of the paper:
+//
+//   - Rerun (the prototype's choice): undo and re-execute the entire
+//     procedure as a newly created thread.
+//   - Continuation: promote the suspended execution itself to a thread —
+//     lazy thread creation; no re-execution.
+//   - Nack: undo and tell the sender to back off and retry.
+package oam

@@ -1,0 +1,226 @@
+// Package plot renders the evaluation figures as SVG: log-log runtime and
+// speedup curves in the style of the paper's Figures 1-4. It is a small,
+// dependency-free chart generator — just enough axes, ticks, legends, and
+// polylines to regenerate the figures from harness data.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one curve: a named sequence of (x, y) points.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Dashed bool
+}
+
+// Plot describes one chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// LogX/LogY select log-scale axes (base 2 for X — processor counts —
+	// and base 2 for Y, matching the paper's figures).
+	LogX, LogY bool
+	Series     []Series
+
+	// Ideal, when true, draws the y = x ideal-speedup reference line.
+	Ideal bool
+}
+
+const (
+	width   = 560
+	height  = 420
+	marginL = 64
+	marginR = 150
+	marginT = 40
+	marginB = 48
+)
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+type scale struct {
+	min, max float64
+	log      bool
+	lo, hi   float64 // pixel range
+}
+
+func newScale(min, max float64, log bool, lo, hi float64) scale {
+	if log {
+		if min <= 0 {
+			min = 1e-9
+		}
+		min, max = math.Log2(min), math.Log2(max)
+	}
+	if max == min {
+		max = min + 1
+	}
+	return scale{min: min, max: max, log: log, lo: lo, hi: hi}
+}
+
+func (s scale) at(v float64) float64 {
+	if s.log {
+		if v <= 0 {
+			v = 1e-9
+		}
+		v = math.Log2(v)
+	}
+	return s.lo + (v-s.min)/(s.max-s.min)*(s.hi-s.lo)
+}
+
+// ticks picks tick values for the scale: powers of two on log axes, a
+// handful of round steps otherwise.
+func (s scale) ticks() []float64 {
+	var out []float64
+	if s.log {
+		for e := math.Floor(s.min); e <= math.Ceil(s.max); e++ {
+			out = append(out, math.Pow(2, e))
+		}
+		return out
+	}
+	span := s.max - s.min
+	step := math.Pow(10, math.Floor(math.Log10(span/4)))
+	for _, m := range []float64{5, 2, 1} {
+		if span/(step*m) >= 4 {
+			step *= m
+			break
+		}
+	}
+	for v := math.Ceil(s.min/step) * step; v <= s.max; v += step {
+		out = append(out, v)
+	}
+	return out
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2g", v)
+}
+
+// SVG renders the plot.
+func (p *Plot) SVG() string {
+	var xs, ys []float64
+	for _, s := range p.Series {
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if p.Ideal {
+		ys = append(ys, xs...)
+	}
+	if len(xs) == 0 {
+		xs, ys = []float64{1}, []float64{1}
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	sx := newScale(minX, maxX, p.LogX, marginL, width-marginR)
+	sy := newScale(minY, maxY, p.LogY, height-marginB, marginT)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, escape(p.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	for _, v := range sx.ticks() {
+		x := sx.at(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="black"/>`+"\n",
+			x, height-marginB, x, height-marginB+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, height-marginB+16, fmtTick(v))
+	}
+	for _, v := range sy.ticks() {
+		y := sy.at(v)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-7, y, fmtTick(v))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#eeeeee"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-12, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(p.YLabel))
+
+	// Ideal line.
+	if p.Ideal {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999999" stroke-dasharray="2,3"/>`+"\n",
+			sx.at(minX), sy.at(minX), sx.at(maxX), sy.at(maxX))
+	}
+
+	// Curves and legend.
+	for i, s := range p.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx.at(s.X[j]), sy.at(s.Y[j])))
+		}
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="5,3"`
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"%s/>`+"\n",
+			strings.Join(pts, " "), color, dash)
+		for j := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.4" fill="%s"/>`+"\n",
+				sx.at(s.X[j]), sy.at(s.Y[j]), color)
+		}
+		ly := marginT + 14 + i*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1.6"%s/>`+"\n",
+			width-marginR+10, ly, width-marginR+34, ly, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			width-marginR+38, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func minMax(vs []float64) (float64, float64) {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range vs {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// SortSeriesPoints orders each series by x (harness rows arrive grouped
+// but unsorted within a system when scales are mixed).
+func SortSeriesPoints(ss []Series) {
+	for i := range ss {
+		s := &ss[i]
+		idx := make([]int, len(s.X))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+		nx := make([]float64, len(idx))
+		ny := make([]float64, len(idx))
+		for j, k := range idx {
+			nx[j], ny[j] = s.X[k], s.Y[k]
+		}
+		s.X, s.Y = nx, ny
+	}
+}

@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGStructure(t *testing.T) {
+	p := &Plot{
+		Title: "T & <x>", XLabel: "procs", YLabel: "speedup",
+		LogX: true, LogY: true, Ideal: true,
+		Series: []Series{
+			{Name: "AM", X: []float64{1, 2, 4}, Y: []float64{1, 2, 3.9}},
+			{Name: "TRPC", X: []float64{1, 2, 4}, Y: []float64{0.5, 1, 1.9}, Dashed: true},
+		},
+	}
+	out := p.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "T &amp; &lt;x&gt;", "procs", "speedup",
+		"polyline", "AM", "TRPC", `stroke-dasharray="5,3"`, `stroke-dasharray="2,3"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One polyline per series plus legend lines and markers.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(out, "<circle"); got != 6 {
+		t.Errorf("markers = %d, want 6", got)
+	}
+}
+
+func TestLogTicksArePowersOfTwo(t *testing.T) {
+	s := newScale(1, 128, true, 0, 100)
+	ticks := s.ticks()
+	if len(ticks) != 8 { // 1,2,4,...,128
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i, v := range ticks {
+		if v != float64(int(1)<<i) {
+			t.Fatalf("tick %d = %v", i, v)
+		}
+	}
+}
+
+func TestLinearTicksReasonable(t *testing.T) {
+	s := newScale(0, 97, false, 0, 100)
+	ticks := s.ticks()
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Fatalf("tick count = %d (%v)", len(ticks), ticks)
+	}
+}
+
+func TestScaleMapsEndpoints(t *testing.T) {
+	s := newScale(1, 100, false, 10, 110)
+	if s.at(1) != 10 || s.at(100) != 110 {
+		t.Fatalf("endpoints: %v %v", s.at(1), s.at(100))
+	}
+	ls := newScale(1, 16, true, 0, 100)
+	if ls.at(4) != 50 {
+		t.Fatalf("log midpoint = %v, want 50", ls.at(4))
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	// No series, zero values, log of zero: must not panic.
+	empty := &Plot{Title: "e", LogX: true, LogY: true}
+	if !strings.Contains(empty.SVG(), "<svg") {
+		t.Fatal("empty plot did not render")
+	}
+	flat := &Plot{Series: []Series{{Name: "f", X: []float64{3, 3}, Y: []float64{0, 0}}}}
+	if !strings.Contains(flat.SVG(), "polyline") {
+		t.Fatal("flat plot did not render")
+	}
+}
+
+func TestSortSeriesPoints(t *testing.T) {
+	ss := []Series{{Name: "a", X: []float64{4, 1, 2}, Y: []float64{40, 10, 20}}}
+	SortSeriesPoints(ss)
+	if ss[0].X[0] != 1 || ss[0].Y[0] != 10 || ss[0].X[2] != 4 || ss[0].Y[2] != 40 {
+		t.Fatalf("not sorted: %+v", ss[0])
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	if fmtTick(128) != "128" || fmtTick(0.5) != "0.5" {
+		t.Fatalf("fmtTick: %q %q", fmtTick(128), fmtTick(0.5))
+	}
+}

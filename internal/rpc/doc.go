@@ -1,0 +1,24 @@
+// Package rpc is the remote-procedure-call runtime of Optimistic RPC: the
+// layer the stub compiler (package stubc) targets.
+//
+// A Runtime binds to a universe and dispatches remote procedures in one of
+// two modes, matching the paper's two systems:
+//
+//   - TRPC (Traditional RPC): every incoming call creates a thread, as a
+//     conventional RPC system would.
+//   - ORPC (Optimistic RPC): every incoming call first executes as an
+//     Optimistic Active Message (package oam); only calls that would
+//     block, congest the network, or run too long pay for a thread.
+//
+// Procedures are defined by an Impl working on marshaled byte records
+// (package rpc's Enc/Dec wire format); generated stubs supply the typed
+// surface. Synchronous calls block the calling thread until the reply
+// arrives — thanks to the scheduler-in-context design of package threads,
+// an idle client pays no context switch for this. Asynchronous calls are
+// fire-and-forget, like the Triangle puzzle's table-update RPCs.
+//
+// Under the Nack abort strategy the server refuses a call that cannot run
+// optimistically; the runtime transparently backs off (bounded
+// exponential) and retries the call. Asynchronous procedures always
+// promote instead of nacking: there is no caller-side thread to wake.
+package rpc

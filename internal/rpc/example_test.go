@@ -1,0 +1,21 @@
+package rpc_test
+
+import (
+	"fmt"
+
+	"repro/internal/rpc"
+)
+
+// ExampleEnc shows the wire format: generated stubs emit exactly these
+// call sequences on both sides.
+func ExampleEnc() {
+	e := rpc.NewEnc(32)
+	e.I64(-7)
+	e.String("hi")
+	e.F64s([]float64{1.5, 2.5})
+
+	d := rpc.NewDec(e.Bytes())
+	fmt.Println(d.I64(), d.String(), d.F64s())
+	d.Done()
+	// Output: -7 hi [1.5 2.5]
+}

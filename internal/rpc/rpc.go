@@ -1,0 +1,300 @@
+package rpc
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/oam"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// Mode selects the dispatch discipline of a Runtime.
+type Mode uint8
+
+const (
+	// ORPC runs each incoming call as an Optimistic Active Message.
+	ORPC Mode = iota
+	// TRPC creates a thread for each incoming call.
+	TRPC
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ORPC:
+		return "ORPC"
+	case TRPC:
+		return "TRPC"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Options configures a Runtime.
+type Options struct {
+	Mode Mode
+	// OAM configures the optimistic dispatcher (ORPC mode only).
+	OAM oam.Options
+	// BackOfQueue schedules incoming call threads at the back of the
+	// ready queue instead of the front. The paper measured both and
+	// found front always better; front is the default (false).
+	BackOfQueue bool
+	// NackBackoffBase and NackBackoffMax bound the exponential backoff a
+	// nacked caller performs before retrying. Zero values select 10 us
+	// and 320 us.
+	NackBackoffBase sim.Duration
+	NackBackoffMax  sim.Duration
+}
+
+// Runtime is the per-universe RPC engine.
+type Runtime struct {
+	u      *am.Universe
+	opts   Options
+	d      *oam.Dispatcher // dispatcher for synchronous procedures
+	dAsync *oam.Dispatcher // async procedures never nack; see doc.go
+	replyH am.HandlerID
+	nackH  am.HandlerID
+	nodes  []*nodeState
+	procs  []*Proc
+}
+
+// nodeState is the client-side call table of one node.
+type nodeState struct {
+	nextID uint64
+	calls  map[uint64]*call
+}
+
+// call is one outstanding synchronous call.
+type call struct {
+	flag   threads.Flag
+	reply  []byte
+	nacked bool
+}
+
+// New builds an RPC runtime over u. Define all procedures before the
+// simulation starts.
+func New(u *am.Universe, opts Options) *Runtime {
+	if opts.NackBackoffBase == 0 {
+		opts.NackBackoffBase = sim.Micros(10)
+	}
+	if opts.NackBackoffMax == 0 {
+		opts.NackBackoffMax = sim.Micros(320)
+	}
+	rt := &Runtime{u: u, opts: opts}
+	rt.d = oam.NewDispatcher(opts.OAM)
+	asyncOpts := opts.OAM
+	if asyncOpts.Strategy == oam.Nack {
+		asyncOpts.Strategy = oam.Rerun
+	}
+	rt.dAsync = oam.NewDispatcher(asyncOpts)
+	rt.nodes = make([]*nodeState, u.N())
+	for i := range rt.nodes {
+		rt.nodes[i] = &nodeState{calls: make(map[uint64]*call)}
+	}
+	rt.replyH = u.Register("rpc/reply", rt.handleReply)
+	rt.nackH = u.Register("rpc/nack", rt.handleNack)
+	return rt
+}
+
+// Universe returns the universe the runtime is bound to.
+func (rt *Runtime) Universe() *am.Universe { return rt.u }
+
+// Mode returns the runtime's dispatch mode.
+func (rt *Runtime) Mode() Mode { return rt.opts.Mode }
+
+// Dispatcher exposes the OAM dispatcher (for statistics).
+func (rt *Runtime) Dispatcher() *oam.Dispatcher { return rt.d }
+
+// AsyncDispatcher exposes the dispatcher used by asynchronous procedures.
+func (rt *Runtime) AsyncDispatcher() *oam.Dispatcher { return rt.dAsync }
+
+func (rt *Runtime) handleReply(c threads.Ctx, pkt *cm5.Packet) {
+	ns := rt.nodes[pkt.Dst]
+	cl, ok := ns.calls[pkt.W0]
+	if !ok {
+		panic(fmt.Sprintf("rpc: reply for unknown call %d on node %d", pkt.W0, pkt.Dst))
+	}
+	cl.reply = pkt.Payload
+	cl.flag.Set()
+}
+
+func (rt *Runtime) handleNack(c threads.Ctx, pkt *cm5.Packet) {
+	ns := rt.nodes[pkt.Dst]
+	cl, ok := ns.calls[pkt.W0]
+	if !ok {
+		panic(fmt.Sprintf("rpc: nack for unknown call %d on node %d", pkt.W0, pkt.Dst))
+	}
+	cl.nacked = true
+	cl.flag.Set()
+}
+
+// ProcStats are the per-procedure counters the termination routine of the
+// paper's generated stubs prints; Tables 2 and 3 are built from them.
+type ProcStats struct {
+	Calls     uint64 // client-side invocations (including nack retries)
+	OAMs      uint64 // server-side optimistic attempts
+	Successes uint64 // attempts that completed inside the handler
+	Promoted  uint64 // attempts promoted to a thread
+	Nacks     uint64 // attempts refused with a negative acknowledgment
+	Threads   uint64 // TRPC-mode thread creations
+}
+
+// SuccessPercent is the "% Successes" column of Tables 2 and 3.
+func (s *ProcStats) SuccessPercent() float64 {
+	if s.OAMs == 0 {
+		return 100
+	}
+	return 100 * float64(s.Successes) / float64(s.OAMs)
+}
+
+// Impl is the server-side body of a remote procedure. It runs against e
+// (optimistically or as a thread, depending on mode and luck), with
+// caller identifying the client node. arg is the marshaled argument
+// record; the returned record is marshaled results (ignored for
+// asynchronous procedures).
+type Impl func(e *oam.Env, caller int, arg []byte) []byte
+
+// Proc is a defined remote procedure.
+type Proc struct {
+	rt    *Runtime
+	name  string
+	h     am.HandlerID
+	async bool
+	impl  Impl
+	stats ProcStats
+}
+
+// Define registers a synchronous remote procedure.
+func (rt *Runtime) Define(name string, impl Impl) *Proc {
+	return rt.define(name, false, impl)
+}
+
+// DefineAsync registers an asynchronous (fire-and-forget) procedure.
+func (rt *Runtime) DefineAsync(name string, impl Impl) *Proc {
+	return rt.define(name, true, impl)
+}
+
+func (rt *Runtime) define(name string, async bool, impl Impl) *Proc {
+	p := &Proc{rt: rt, name: name, async: async, impl: impl}
+	p.h = rt.u.Register("rpc/"+name, p.serve)
+	rt.procs = append(rt.procs, p)
+	return p
+}
+
+// Name returns the procedure name.
+func (p *Proc) Name() string { return p.name }
+
+// Stats returns a snapshot of the per-procedure counters (the paper's
+// generated termination routine prints these).
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// serve is the request handler: it runs on the polling context of the
+// server node and dispatches the call according to the runtime mode.
+func (p *Proc) serve(c threads.Ctx, pkt *cm5.Packet) {
+	rt := p.rt
+	cost := rt.u.Machine().Cost()
+	c.P.Charge(cost.StubServer)
+	ep := rt.u.Endpoint(pkt.Dst)
+	callID, caller, arg := pkt.W0, pkt.Src, pkt.Payload
+
+	if rt.opts.Mode == TRPC {
+		p.stats.Threads++
+		c.S.Create(c, "rpc/"+p.name, !rt.opts.BackOfQueue, func(c2 threads.Ctx) {
+			env := oam.NewThreadEnv(c2, ep, rt.d)
+			res := p.impl(env, caller, arg)
+			if !p.async {
+				p.sendReply(env, caller, callID, res)
+			}
+		})
+		return
+	}
+
+	d := rt.d
+	if p.async {
+		d = rt.dAsync
+	}
+	p.stats.OAMs++
+	outcome, _ := d.Run(c, ep, p.name, func(e *oam.Env) {
+		res := p.impl(e, caller, arg)
+		if !p.async {
+			p.sendReply(e, caller, callID, res)
+		}
+	})
+	switch outcome {
+	case oam.Completed:
+		p.stats.Successes++
+	case oam.Promoted:
+		p.stats.Promoted++
+	case oam.NackNeeded:
+		p.stats.Nacks++
+		ep.Send(c, caller, rt.nackH, [4]uint64{callID}, nil)
+	}
+}
+
+// sendReply routes the result record back to the caller, using the bulk
+// path when it does not fit an Active Message packet.
+func (p *Proc) sendReply(e *oam.Env, caller int, callID uint64, res []byte) {
+	if len(res) <= p.rt.u.Machine().Cost().MaxPayload {
+		e.Send(caller, p.rt.replyH, [4]uint64{callID}, res)
+	} else {
+		e.SendBulk(caller, p.rt.replyH, [4]uint64{callID}, res)
+	}
+}
+
+// Call performs a synchronous remote procedure call from a thread context
+// and returns the marshaled result record. If the server nacks, Call
+// backs off and retries transparently.
+func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
+	if p.async {
+		panic(fmt.Sprintf("rpc: synchronous Call of asynchronous procedure %q", p.name))
+	}
+	if c.T == nil {
+		panic(fmt.Sprintf("rpc: synchronous Call of %q from handler context", p.name))
+	}
+	rt := p.rt
+	cost := rt.u.Machine().Cost()
+	me := c.Node().ID()
+	ns := rt.nodes[me]
+	backoff := rt.opts.NackBackoffBase
+	for {
+		p.stats.Calls++
+		c.P.Charge(cost.StubClient)
+		ns.nextID++
+		id := ns.nextID
+		cl := &call{}
+		ns.calls[id] = cl
+		p.sendRequest(c, server, id, arg)
+		cl.flag.Wait(c)
+		delete(ns.calls, id)
+		if !cl.nacked {
+			return cl.reply
+		}
+		// Nacked: back off (bounded exponential) and retry.
+		c.P.Charge(backoff)
+		backoff *= 2
+		if backoff > rt.opts.NackBackoffMax {
+			backoff = rt.opts.NackBackoffMax
+		}
+	}
+}
+
+// CallAsync fires an asynchronous call and returns as soon as the request
+// has been injected into the network.
+func (p *Proc) CallAsync(c threads.Ctx, server int, arg []byte) {
+	if !p.async {
+		panic(fmt.Sprintf("rpc: CallAsync of synchronous procedure %q", p.name))
+	}
+	p.stats.Calls++
+	c.P.Charge(p.rt.u.Machine().Cost().StubClient)
+	p.sendRequest(c, server, 0, arg)
+}
+
+func (p *Proc) sendRequest(c threads.Ctx, server int, id uint64, arg []byte) {
+	ep := p.rt.u.Endpoint(c.Node().ID())
+	if len(arg) <= p.rt.u.Machine().Cost().MaxPayload {
+		ep.Send(c, server, p.h, [4]uint64{id}, arg)
+	} else {
+		ep.SendBulk(c, server, p.h, [4]uint64{id}, arg)
+	}
+}

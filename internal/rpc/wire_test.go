@@ -1,0 +1,113 @@
+package rpc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTripBasic(t *testing.T) {
+	e := NewEnc(64)
+	e.U8(250)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(0xdeadbeef)
+	e.U64(1 << 60)
+	e.I32(-12345)
+	e.I64(-1 << 50)
+	e.F32(3.25)
+	e.F64(-2.5e300)
+	e.Buf([]byte("hello"))
+	e.String("world")
+	e.F64s([]float64{1, 2.5, -3})
+	e.I32s([]int32{-1, 0, 7})
+	e.U64s([]uint64{9, 8})
+
+	d := NewDec(e.Bytes())
+	if d.U8() != 250 || !d.Bool() || d.Bool() {
+		t.Fatal("u8/bool mismatch")
+	}
+	if d.U32() != 0xdeadbeef || d.U64() != 1<<60 {
+		t.Fatal("u32/u64 mismatch")
+	}
+	if d.I32() != -12345 || d.I64() != -1<<50 {
+		t.Fatal("i32/i64 mismatch")
+	}
+	if d.F32() != 3.25 || d.F64() != -2.5e300 {
+		t.Fatal("float mismatch")
+	}
+	if !bytes.Equal(d.Buf(), []byte("hello")) || d.String() != "world" {
+		t.Fatal("buf/string mismatch")
+	}
+	f := d.F64s()
+	if len(f) != 3 || f[0] != 1 || f[1] != 2.5 || f[2] != -3 {
+		t.Fatal("f64s mismatch")
+	}
+	i := d.I32s()
+	if len(i) != 3 || i[0] != -1 || i[2] != 7 {
+		t.Fatal("i32s mismatch")
+	}
+	u := d.U64s()
+	if len(u) != 2 || u[0] != 9 || u[1] != 8 {
+		t.Fatal("u64s mismatch")
+	}
+	d.Done()
+}
+
+// TestWireProperty: any (u64, f64, bytes, i32) tuple round-trips.
+func TestWireProperty(t *testing.T) {
+	f := func(a uint64, b float64, c []byte, d int32, s string) bool {
+		if math.IsNaN(b) {
+			b = 0 // NaN != NaN; normalize
+		}
+		e := NewEnc(32)
+		e.U64(a)
+		e.F64(b)
+		e.Buf(c)
+		e.I32(d)
+		e.String(s)
+		dec := NewDec(e.Bytes())
+		ok := dec.U64() == a && dec.F64() == b &&
+			bytes.Equal(dec.Buf(), c) && dec.I32() == d && dec.String() == s
+		dec.Done()
+		return ok && dec.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeShortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on short read")
+		}
+	}()
+	NewDec([]byte{1, 2}).U64()
+}
+
+func TestDoneTrailingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on trailing bytes")
+		}
+	}()
+	e := NewEnc(8)
+	e.U64(7)
+	d := NewDec(e.Bytes())
+	d.U32()
+	d.Done()
+}
+
+func TestEmptyBuffers(t *testing.T) {
+	e := NewEnc(8)
+	e.Buf(nil)
+	e.F64s(nil)
+	e.String("")
+	d := NewDec(e.Bytes())
+	if len(d.Buf()) != 0 || len(d.F64s()) != 0 || d.String() != "" {
+		t.Fatal("empty buffers mangled")
+	}
+	d.Done()
+}

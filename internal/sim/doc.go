@@ -1,0 +1,18 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// The kernel models virtual time with nanosecond resolution and drives a set
+// of coroutine processes (Proc). Exactly one process executes at any moment;
+// control transfers between the kernel and processes are explicit, so a
+// simulation run is sequential and bit-for-bit reproducible regardless of
+// host scheduling.
+//
+// Processes are backed by goroutines but are not concurrent: a process runs
+// until it yields by charging virtual time (Charge), parking (Park), or
+// returning. The kernel then pops the next event off a (time, sequence)
+// ordered heap. Because only one goroutine is ever runnable, shared state
+// touched by processes and kernel callbacks needs no locking.
+//
+// The package is the substrate for the CM-5 machine model (package cm5),
+// the user-level thread package (package threads), and everything above
+// them. It knows nothing about nodes, networks, or threads.
+package sim

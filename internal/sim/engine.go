@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Engine is the discrete-event simulation kernel. Create one with New,
+// spawn processes with Spawn, and drive the simulation with Run.
+//
+// All methods must be called either from kernel callbacks (At/After
+// functions) or from the currently running process; the kernel is strictly
+// sequential and is not safe for use from other goroutines.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	running *Proc
+	// kernelCh is signaled by a process when it hands control back.
+	kernelCh chan struct{}
+	rng      *rand.Rand
+	tracer   Tracer
+	procs    map[uint64]*Proc // live (spawned, not yet finished) processes
+	stopped  bool             // set by Stop
+	killing  bool             // set by Shutdown
+	failure  error
+
+	// Stats counters, cheap enough to keep always-on.
+	events     uint64
+	dispatches uint64
+}
+
+// New returns an engine whose random source is seeded with seed.
+// The same seed always yields the same simulation.
+func New(seed int64) *Engine {
+	return &Engine{
+		kernelCh: make(chan struct{}),
+		rng:      rand.New(rand.NewSource(seed)),
+		procs:    make(map[uint64]*Proc),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// SetTracer installs a tracer; pass nil to disable tracing.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// Events reports the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// Dispatches reports the number of process control transfers so far.
+func (e *Engine) Dispatches() uint64 { return e.dispatches }
+
+// Live reports the number of spawned processes that have not finished.
+func (e *Engine) Live() int { return len(e.procs) }
+
+// At schedules fn to run in kernel context at absolute time t. Scheduling
+// in the past is a programming error. Kernel callbacks must not block or
+// call process-context methods such as Charge or Park.
+func (e *Engine) At(t Time, fn func()) { e.at(t, fn) }
+
+func (e *Engine) at(t Time, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.heap.push(ev)
+	return ev
+}
+
+// After schedules fn to run in kernel context d from now.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
+
+// Timer is a handle to a scheduled kernel callback that can be cancelled
+// before it fires.
+type Timer struct {
+	ev *event
+}
+
+// AtTimer is At returning a cancellable handle.
+func (e *Engine) AtTimer(t Time, fn func()) *Timer {
+	return &Timer{ev: e.at(t, fn)}
+}
+
+// AfterTimer is After returning a cancellable handle.
+func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
+	return e.AtTimer(e.now.Add(d), fn)
+}
+
+// Cancel prevents the timer's callback from running and reports whether
+// it did (false when the callback already ran or was already cancelled).
+func (t *Timer) Cancel() bool {
+	if t.ev == nil || t.ev.cancelled || t.ev.fn == nil {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// Stop terminates Run after the current event completes. Call Shutdown to
+// release the goroutines of any still-live processes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// killed is the sentinel panic value used by Shutdown to unwind process
+// goroutines. It never escapes the package.
+type killedSentinel struct{}
+
+// Shutdown forcibly terminates every live process and drops all pending
+// events, releasing the backing goroutines. It must be called from outside
+// Run (i.e., not from a process or kernel callback). The engine is dead
+// afterwards. Simulations that end with parked service processes (node
+// idle loops, servers) should always Shutdown to avoid goroutine leaks.
+func (e *Engine) Shutdown() {
+	if e.running != nil {
+		panic("sim: Shutdown from inside the simulation")
+	}
+	e.killing = true
+	e.heap.ev = nil
+	// Snapshot: dispatching kills procs, which mutates e.procs.
+	victims := make([]*Proc, 0, len(e.procs))
+	for _, p := range e.procs {
+		victims = append(victims, p)
+	}
+	for _, p := range victims {
+		if !p.dead {
+			e.dispatch(p)
+		}
+	}
+	e.stopped = true
+}
+
+// Run executes events until the heap is empty, Stop is called, or a process
+// panics. It returns the first process failure, if any. A non-empty set of
+// parked processes with an empty heap is quiescence, not an error; callers
+// that consider it a deadlock can check Live.
+func (e *Engine) Run() error {
+	for !e.stopped && e.failure == nil && e.heap.len() > 0 {
+		ev := e.heap.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		fn := ev.fn
+		ev.fn = nil // mark fired (Cancel returns false) and release
+		fn()
+	}
+	return e.failure
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns the
+// first process failure, if any.
+func (e *Engine) RunUntil(deadline Time) error {
+	for !e.stopped && e.failure == nil && e.heap.len() > 0 {
+		if e.heap.ev[0].at > deadline {
+			break
+		}
+		ev := e.heap.pop()
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		fn := ev.fn
+		ev.fn = nil
+		fn()
+	}
+	if e.now < deadline && e.failure == nil {
+		e.now = deadline
+	}
+	return e.failure
+}
+
+// dispatch transfers control to p and blocks (the kernel goroutine) until p
+// yields back. It must only be called from kernel context.
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	if e.running != nil {
+		panic("sim: dispatch while a process is running")
+	}
+	e.dispatches++
+	e.running = p
+	if e.tracer != nil {
+		e.tracer.Resume(e.now, p)
+	}
+	p.resume <- struct{}{}
+	<-e.kernelCh
+	e.running = nil
+}
+
+// yieldToKernel hands control from the running process back to the kernel
+// and blocks until the process is dispatched again. If the engine is being
+// shut down when control returns, the process unwinds via the kill
+// sentinel, which the Spawn wrapper recovers.
+func (e *Engine) yieldToKernel(p *Proc) {
+	if e.tracer != nil {
+		e.tracer.Yield(e.now, p)
+	}
+	e.kernelCh <- struct{}{}
+	<-p.resume
+	if e.killing {
+		panic(killedSentinel{})
+	}
+}
+
+// checkRunning panics unless p is the currently executing process. It
+// guards the process-context-only API.
+func (e *Engine) checkRunning(p *Proc, op string) {
+	if e.running != p {
+		panic(fmt.Sprintf("sim: %s called on %q which is not the running process", op, p.name))
+	}
+}

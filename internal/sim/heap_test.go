@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestHeapOrdering pushes events in random order and verifies they pop in
+// (time, seq) order.
+func TestHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var h eventHeap
+	type key struct {
+		at  Time
+		seq uint64
+	}
+	var keys []key
+	for i := 0; i < 1000; i++ {
+		k := key{at: Time(rng.Intn(50)), seq: uint64(i)}
+		keys = append(keys, k)
+		h.push(&event{at: k.at, seq: k.seq})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].at != keys[j].at {
+			return keys[i].at < keys[j].at
+		}
+		return keys[i].seq < keys[j].seq
+	})
+	for i, want := range keys {
+		got := h.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("pop %d: got (%v,%d), want (%v,%d)", i, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	if h.len() != 0 {
+		t.Fatalf("heap not empty after draining: %d", h.len())
+	}
+}
+
+// TestHeapProperty is a property-based check: for any sequence of pushes,
+// repeated pops yield a non-decreasing (time, seq) sequence.
+func TestHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var h eventHeap
+		for i, v := range times {
+			h.push(&event{at: Time(v), seq: uint64(i)})
+		}
+		prevAt, prevSeq := Time(-1), uint64(0)
+		for h.len() > 0 {
+			e := h.pop()
+			if e.at < prevAt || (e.at == prevAt && e.seq <= prevSeq && prevAt >= 0) {
+				return false
+			}
+			prevAt, prevSeq = e.at, e.seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeapInterleavedPushPop interleaves pushes with pops, as the engine
+// does, and checks global ordering of the popped prefix at each step.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h eventHeap
+	var seq uint64
+	last := Time(-1)
+	for step := 0; step < 5000; step++ {
+		if h.len() == 0 || rng.Intn(2) == 0 {
+			at := last
+			if at < 0 {
+				at = 0
+			}
+			at += Time(rng.Intn(10))
+			seq++
+			h.push(&event{at: at, seq: seq})
+			continue
+		}
+		e := h.pop()
+		if e.at < last {
+			t.Fatalf("time went backwards: %v after %v", e.at, last)
+		}
+		last = e.at
+	}
+}

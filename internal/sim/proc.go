@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+)
+
+// Duration aliases time.Duration; virtual durations use the same unit
+// (nanoseconds) as wall-clock durations for familiarity.
+type Duration = time.Duration
+
+// Proc is a simulated coroutine process. A Proc executes user code when the
+// kernel dispatches it; it yields by calling Charge, Sleep, Park, or by
+// returning from its body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked bool
+	dead   bool
+	id     uint64
+
+	// Interruptible-charge state (see ChargeInterruptible).
+	intTimer    *Timer
+	intStart    Time
+	interrupted bool
+}
+
+// PanicError wraps a panic raised inside a process body so that Run can
+// report it as an error with the originating process's name.
+type PanicError struct {
+	Proc  string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: process %q panicked: %v\n%s", e.Proc, e.Value, e.Stack)
+}
+
+// Spawn creates a process named name running body, scheduled to start at
+// the current virtual time (after already-scheduled same-time events). The
+// body runs in process context: it may call Charge, Sleep, Park and friends.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	e.seq++
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		id:     e.seq,
+	}
+	e.procs[p.id] = p
+	go func() {
+		<-p.resume // wait for first dispatch
+		defer func() {
+			p.dead = true
+			delete(e.procs, p.id)
+			if r := recover(); r != nil {
+				if _, kill := r.(killedSentinel); !kill && e.failure == nil {
+					e.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
+				}
+			}
+			if e.tracer != nil {
+				e.tracer.Exit(e.now, p)
+			}
+			// Hand control back to the kernel for good.
+			e.kernelCh <- struct{}{}
+		}()
+		if e.killing {
+			panic(killedSentinel{})
+		}
+		body(p)
+	}()
+	e.At(e.now, func() { e.dispatch(p) })
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns a unique process identifier (its spawn sequence number).
+func (p *Proc) ID() uint64 { return p.id }
+
+// Engine returns the engine that owns p.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Dead reports whether the process body has returned or panicked.
+func (p *Proc) Dead() bool { return p.dead }
+
+// Parked reports whether the process is parked waiting for Unpark.
+func (p *Proc) Parked() bool { return p.parked }
+
+// Now returns the current virtual time. Usable from any context.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Charge consumes d of virtual CPU time: the process is suspended and
+// resumes exactly d later. Charge(0) yields to other same-time events.
+// Must be called from the running process.
+func (p *Proc) Charge(d Duration) {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	p.eng.checkRunning(p, "Charge")
+	e := p.eng
+	e.At(e.now.Add(d), func() { e.dispatch(p) })
+	e.yieldToKernel(p)
+}
+
+// Sleep is Charge under a name that reads better for idle waits.
+func (p *Proc) Sleep(d Duration) { p.Charge(d) }
+
+// ChargeInterruptible consumes up to d of virtual CPU time like Charge,
+// but the charge can be cut short by Interrupt (hardware message
+// interrupts in the machine model). It returns the unconsumed remainder:
+// zero when the full duration elapsed, positive when interrupted. Must be
+// called from the running process.
+func (p *Proc) ChargeInterruptible(d Duration) Duration {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	p.eng.checkRunning(p, "ChargeInterruptible")
+	if d == 0 {
+		p.Charge(0)
+		return 0
+	}
+	e := p.eng
+	p.intStart = e.now
+	p.interrupted = false
+	p.intTimer = e.AtTimer(e.now.Add(d), func() {
+		p.intTimer = nil
+		e.dispatch(p)
+	})
+	e.yieldToKernel(p)
+	if !p.interrupted {
+		return 0
+	}
+	p.interrupted = false
+	consumed := Duration(e.now - p.intStart)
+	return d - consumed
+}
+
+// Interrupt preempts p's in-progress interruptible charge: p resumes at
+// the current virtual time with the remainder of its charge unconsumed.
+// Callable from kernel callbacks or other processes. It reports whether a
+// charge was actually interrupted (false when p is not inside
+// ChargeInterruptible — a plain Charge cannot be preempted).
+func (p *Proc) Interrupt() bool {
+	if p.dead || p.intTimer == nil {
+		return false
+	}
+	if !p.intTimer.Cancel() {
+		return false
+	}
+	p.intTimer = nil
+	p.interrupted = true
+	e := p.eng
+	e.At(e.now, func() { e.dispatch(p) })
+	return true
+}
+
+// Park suspends the process until another party calls Unpark. Must be
+// called from the running process.
+func (p *Proc) Park() {
+	p.eng.checkRunning(p, "Park")
+	p.parked = true
+	p.eng.yieldToKernel(p)
+}
+
+// Unpark makes a parked process runnable at the current virtual time. It
+// may be called from kernel callbacks or from another running process; it
+// is a no-op on a dead process and a programming error on a process that
+// is not parked.
+func (p *Proc) Unpark() {
+	if p.dead {
+		return
+	}
+	if !p.parked {
+		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", p.name))
+	}
+	p.parked = false
+	e := p.eng
+	e.At(e.now, func() { e.dispatch(p) })
+}
+
+// UnparkAfter makes a parked process runnable d from now.
+func (p *Proc) UnparkAfter(d Duration) {
+	if p.dead {
+		return
+	}
+	if !p.parked {
+		panic(fmt.Sprintf("sim: UnparkAfter of non-parked process %q", p.name))
+	}
+	p.parked = false
+	e := p.eng
+	e.At(e.now.Add(d), func() { e.dispatch(p) })
+}

@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Tracer observes kernel scheduling decisions. Implementations must be
+// cheap; they run on the hot path of every dispatch.
+type Tracer interface {
+	Resume(t Time, p *Proc) // process gains the (virtual) CPU
+	Yield(t Time, p *Proc)  // process yields back to the kernel
+	Exit(t Time, p *Proc)   // process body returned or panicked
+}
+
+// WriterTracer logs every scheduling transition to an io.Writer; intended
+// for debugging small simulations.
+type WriterTracer struct{ W io.Writer }
+
+func (w WriterTracer) Resume(t Time, p *Proc) { fmt.Fprintf(w.W, "%v resume %s\n", t, p.name) }
+func (w WriterTracer) Yield(t Time, p *Proc)  { fmt.Fprintf(w.W, "%v yield  %s\n", t, p.name) }
+func (w WriterTracer) Exit(t Time, p *Proc)   { fmt.Fprintf(w.W, "%v exit   %s\n", t, p.name) }
+
+// HashTracer folds every scheduling transition into an FNV-1a hash. Two
+// runs of a deterministic simulation must produce identical sums; the
+// determinism tests rely on this.
+type HashTracer struct {
+	h uint64
+}
+
+// NewHashTracer returns a tracer with the standard FNV-1a offset basis.
+func NewHashTracer() *HashTracer {
+	f := fnv.New64a()
+	return &HashTracer{h: f.Sum64()}
+}
+
+func (h *HashTracer) mix(kind byte, t Time, p *Proc) {
+	const prime = 1099511628211
+	h.h = (h.h ^ uint64(kind)) * prime
+	h.h = (h.h ^ uint64(t)) * prime
+	h.h = (h.h ^ p.id) * prime
+}
+
+func (h *HashTracer) Resume(t Time, p *Proc) { h.mix('r', t, p) }
+func (h *HashTracer) Yield(t Time, p *Proc)  { h.mix('y', t, p) }
+func (h *HashTracer) Exit(t Time, p *Proc)   { h.mix('x', t, p) }
+
+// Sum returns the accumulated schedule hash.
+func (h *HashTracer) Sum() uint64 { return h.h }

@@ -1,0 +1,33 @@
+// Package stubc is the stub compiler of Optimistic RPC: it turns a small
+// interface-definition language into Go stubs over the rpc runtime, the
+// way the paper's stub compiler turns remote-procedure specifications
+// into C handler, stub, and marshaling code.
+//
+// The language, one declaration per line:
+//
+//	package tspgen
+//
+//	# request one job from the master's queue (blocks when empty)
+//	rpc GetJob() (route bytes, ok bool)
+//
+//	# fire-and-forget position insert
+//	async rpc Extend(pos uint64, ways uint64)
+//
+//	# record types (the struct marshaling the paper's prototype omits)
+//	struct Point { x float64, y float64 }
+//	rpc Move(p Point) (q Point)
+//
+// As in the paper, the server's processor ID is not part of the
+// declaration: it is the first argument of every generated client stub.
+// Parameters before the parenthesized result list are "in" arguments;
+// results are "out" arguments. Buffer types (bytes, f64s, i32s, u64s)
+// carry their length on the wire, mirroring the paper's buffer-plus-size
+// rule. Asynchronous procedures may not have results.
+//
+// For each procedure P the generated code contains: a server registration
+// routine DefineP (the paper's initialization routine), a typed client
+// stub P.Call or P.CallAsync, marshaling in both directions, and a Stats
+// accessor (the paper's termination routine prints these statistics).
+// The same generated stub serves both TRPC and ORPC; the runtime's mode
+// decides how incoming calls are scheduled.
+package stubc

@@ -1,0 +1,292 @@
+package stubc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is an IDL wire type.
+type Type string
+
+// The IDL type table: wire type → (Go type, Enc method, Dec method).
+const (
+	TBool   Type = "bool"
+	TI32    Type = "int32"
+	TI64    Type = "int64"
+	TU32    Type = "uint32"
+	TU64    Type = "uint64"
+	TF32    Type = "float32"
+	TF64    Type = "float64"
+	TBytes  Type = "bytes"
+	TString Type = "string"
+	TF64s   Type = "f64s"
+	TI32s   Type = "i32s"
+	TU64s   Type = "u64s"
+)
+
+type typeInfo struct {
+	goType string
+	method string // Enc/Dec method name
+	fixed  int    // wire bytes if fixed-size, 0 for buffers
+}
+
+var types = map[Type]typeInfo{
+	TBool:   {"bool", "Bool", 1},
+	TI32:    {"int32", "I32", 4},
+	TI64:    {"int64", "I64", 8},
+	TU32:    {"uint32", "U32", 4},
+	TU64:    {"uint64", "U64", 8},
+	TF32:    {"float32", "F32", 4},
+	TF64:    {"float64", "F64", 8},
+	TBytes:  {"[]byte", "Buf", 0},
+	TString: {"string", "String", 0},
+	TF64s:   {"[]float64", "F64s", 0},
+	TI32s:   {"[]int32", "I32s", 0},
+	TU64s:   {"[]uint64", "U64s", 0},
+}
+
+// Param is one in or out argument.
+type Param struct {
+	Name string
+	Type Type
+}
+
+// ProcDecl is one rpc declaration.
+type ProcDecl struct {
+	Name  string
+	Async bool
+	Ins   []Param
+	Outs  []Param
+	Line  int
+}
+
+// StructDecl is a user-defined record type usable as a parameter type —
+// the struct marshaling the paper's prototype left out ("doing so would
+// be straightforward"). Fields may be any built-in type but not other
+// structs.
+type StructDecl struct {
+	Name   string
+	Fields []Param
+	Line   int
+}
+
+// File is a parsed IDL file.
+type File struct {
+	Package string
+	Structs []StructDecl
+	Procs   []ProcDecl
+}
+
+// structByName finds a declared struct.
+func (f *File) structByName(n Type) *StructDecl {
+	for i := range f.Structs {
+		if Type(f.Structs[i].Name) == n {
+			return &f.Structs[i]
+		}
+	}
+	return nil
+}
+
+// ParseError reports a syntax or semantic error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Parse parses IDL source. Structs must be declared before the first
+// procedure that uses them.
+func Parse(src string) (*File, error) {
+	f := &File{}
+	names := map[string]int{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := i + 1
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(text, "package "):
+			if f.Package != "" {
+				return nil, errf(line, "duplicate package declaration")
+			}
+			f.Package = strings.TrimSpace(strings.TrimPrefix(text, "package "))
+			if !isIdent(f.Package) {
+				return nil, errf(line, "bad package name %q", f.Package)
+			}
+		case strings.HasPrefix(text, "struct "):
+			if f.Package == "" {
+				return nil, errf(line, "struct declaration before package")
+			}
+			s, err := parseStruct(f, text, line)
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := names[s.Name]; dup {
+				return nil, errf(line, "name %s already declared on line %d", s.Name, prev)
+			}
+			names[s.Name] = line
+			f.Structs = append(f.Structs, s)
+		case strings.HasPrefix(text, "rpc "), strings.HasPrefix(text, "async rpc "):
+			if f.Package == "" {
+				return nil, errf(line, "rpc declaration before package")
+			}
+			p, err := parseProc(f, text, line)
+			if err != nil {
+				return nil, err
+			}
+			if prev, dup := names[p.Name]; dup {
+				return nil, errf(line, "name %s already declared on line %d", p.Name, prev)
+			}
+			names[p.Name] = line
+			f.Procs = append(f.Procs, p)
+		default:
+			return nil, errf(line, "cannot parse %q", text)
+		}
+	}
+	if f.Package == "" {
+		return nil, errf(0, "missing package declaration")
+	}
+	if len(f.Procs) == 0 {
+		return nil, errf(0, "no rpc declarations")
+	}
+	return f, nil
+}
+
+// parseStruct parses `struct Name { field type, field type }`.
+func parseStruct(f *File, text string, line int) (StructDecl, error) {
+	s := StructDecl{Line: line}
+	rest := strings.TrimPrefix(text, "struct ")
+	open := strings.IndexByte(rest, '{')
+	if open < 0 || !strings.HasSuffix(rest, "}") {
+		return s, errf(line, "struct declaration must be `struct Name { field type, ... }`")
+	}
+	s.Name = strings.TrimSpace(rest[:open])
+	if !isExportedIdent(s.Name) {
+		return s, errf(line, "struct name %q must be an exported Go identifier", s.Name)
+	}
+	if _, isBuiltin := types[Type(s.Name)]; isBuiltin {
+		return s, errf(line, "struct name %q collides with a built-in type", s.Name)
+	}
+	fields, err := parseParams(f, rest[open+1:len(rest)-1], line)
+	if err != nil {
+		return s, err
+	}
+	if len(fields) == 0 {
+		return s, errf(line, "struct %s has no fields", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, fd := range fields {
+		if seen[fd.Name] {
+			return s, errf(line, "duplicate field %q in struct %s", fd.Name, s.Name)
+		}
+		seen[fd.Name] = true
+		if _, builtin := types[fd.Type]; !builtin {
+			return s, errf(line, "struct field %s.%s: nested struct types are not supported", s.Name, fd.Name)
+		}
+	}
+	s.Fields = fields
+	return s, nil
+}
+
+func parseProc(f *File, text string, line int) (ProcDecl, error) {
+	p := ProcDecl{Line: line}
+	rest := text
+	if strings.HasPrefix(rest, "async ") {
+		p.Async = true
+		rest = strings.TrimPrefix(rest, "async ")
+	}
+	rest = strings.TrimPrefix(rest, "rpc ")
+	open := strings.IndexByte(rest, '(')
+	if open < 0 {
+		return p, errf(line, "missing ( in rpc declaration")
+	}
+	p.Name = strings.TrimSpace(rest[:open])
+	if !isExportedIdent(p.Name) {
+		return p, errf(line, "procedure name %q must be an exported Go identifier", p.Name)
+	}
+	rest = rest[open+1:]
+	closeIdx := strings.IndexByte(rest, ')')
+	if closeIdx < 0 {
+		return p, errf(line, "missing ) in rpc declaration")
+	}
+	ins, err := parseParams(f, rest[:closeIdx], line)
+	if err != nil {
+		return p, err
+	}
+	p.Ins = ins
+	rest = strings.TrimSpace(rest[closeIdx+1:])
+	if rest != "" {
+		if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+			return p, errf(line, "malformed result list %q", rest)
+		}
+		outs, err := parseParams(f, rest[1:len(rest)-1], line)
+		if err != nil {
+			return p, err
+		}
+		p.Outs = outs
+	}
+	if p.Async && len(p.Outs) > 0 {
+		return p, errf(line, "async procedure %s cannot have results", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, prm := range append(append([]Param{}, p.Ins...), p.Outs...) {
+		if seen[prm.Name] {
+			return p, errf(line, "duplicate parameter name %q", prm.Name)
+		}
+		seen[prm.Name] = true
+	}
+	return p, nil
+}
+
+// parseParams parses a comma-separated `name type` list. f, when non-nil,
+// supplies declared struct types in addition to the built-ins.
+func parseParams(f *File, s string, line int) ([]Param, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []Param
+	for _, piece := range strings.Split(s, ",") {
+		fields := strings.Fields(piece)
+		if len(fields) != 2 {
+			return nil, errf(line, "parameter %q must be `name type`", strings.TrimSpace(piece))
+		}
+		name, typ := fields[0], Type(fields[1])
+		if !isIdent(name) {
+			return nil, errf(line, "bad parameter name %q", name)
+		}
+		if _, ok := types[typ]; !ok {
+			if f == nil || f.structByName(typ) == nil {
+				return nil, errf(line, "unknown type %q (have bool,int32,int64,uint32,uint64,float32,float64,bytes,string,f64s,i32s,u64s, or a declared struct)", typ)
+			}
+		}
+		out = append(out, Param{Name: name, Type: typ})
+	}
+	return out, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if i == 0 && !alpha {
+			return false
+		}
+		if !alpha && !(r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func isExportedIdent(s string) bool {
+	return isIdent(s) && s[0] >= 'A' && s[0] <= 'Z'
+}

@@ -1,0 +1,68 @@
+package threads
+
+import "repro/internal/cm5"
+
+// Thread-aware wrappers over the control network. A thread waiting at a
+// barrier (or reduction) suspends like any blocked thread: its context
+// becomes the acting scheduler, so the node keeps servicing incoming
+// messages and other runnable threads while it waits — which is exactly
+// what the RPC versions of SOR and Water rely on.
+
+// Barrier blocks the calling thread until every node has entered the
+// barrier for the same round.
+func (s *Scheduler) Barrier(c Ctx) {
+	t := c.T
+	if t == nil {
+		panic("threads: Barrier from handler context")
+	}
+	s.checkCurrent(t, "Barrier")
+	s.node.BarrierEnter()
+	if s.node.BarrierWaitAsync(func() { s.makeReady(t, true) }) {
+		return
+	}
+	s.blockCurrent(c)
+}
+
+// Reduce blocks the calling thread in an all-node reduction of val under
+// op and returns the combined value.
+func (s *Scheduler) Reduce(c Ctx, val float64, op cm5.ReduceOp) float64 {
+	t := c.T
+	if t == nil {
+		panic("threads: Reduce from handler context")
+	}
+	s.checkCurrent(t, "Reduce")
+	s.node.ReduceEnter(val, op)
+	var out float64
+	ready, v := s.node.ReduceWaitAsync(func(red float64) {
+		out = red
+		s.makeReady(t, true)
+	})
+	if ready {
+		return v
+	}
+	s.blockCurrent(c)
+	return out
+}
+
+// OREnter contributes v to the split-phase global OR; it never blocks.
+func (s *Scheduler) OREnter(v bool) { s.node.OREnter(v) }
+
+// ORWait blocks the calling thread until the global-OR round it last
+// entered combines, and returns the machine-wide OR.
+func (s *Scheduler) ORWait(c Ctx) bool {
+	t := c.T
+	if t == nil {
+		panic("threads: ORWait from handler context")
+	}
+	s.checkCurrent(t, "ORWait")
+	var out bool
+	ready, v := s.node.ORWaitAsync(func(or bool) {
+		out = or
+		s.makeReady(t, true)
+	})
+	if ready {
+		return v
+	}
+	s.blockCurrent(c)
+	return out
+}

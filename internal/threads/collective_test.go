@@ -1,0 +1,173 @@
+package threads
+
+import (
+	"testing"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// multiRig builds an n-node machine with a scheduler per node.
+func multiRig(t *testing.T, n int) (*sim.Engine, []*Scheduler) {
+	t.Helper()
+	eng := sim.New(13)
+	m := cm5.NewMachine(eng, n, cm5.DefaultCostModel())
+	ss := make([]*Scheduler, n)
+	for i := range ss {
+		ss[i] = NewScheduler(m.Node(i))
+	}
+	t.Cleanup(eng.Shutdown)
+	return eng, ss
+}
+
+func TestThreadBarrier(t *testing.T) {
+	eng, ss := multiRig(t, 4)
+	releases := make([]sim.Time, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		ss[i].Bootstrap("main", func(c Ctx) {
+			c.P.Charge(sim.Micros(float64(5 * i)))
+			ss[i].Barrier(c)
+			releases[i] = c.P.Now()
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		if releases[i] != releases[0] {
+			t.Fatalf("barrier release skew: %v", releases)
+		}
+	}
+	if releases[0] <= sim.Time(sim.Micros(15)) {
+		t.Fatalf("released before last arrival: %v", releases[0])
+	}
+}
+
+// TestBarrierAllowsOtherThreads: while main waits at the barrier, another
+// thread on the same node must get the CPU.
+func TestBarrierAllowsOtherThreads(t *testing.T) {
+	eng, ss := multiRig(t, 2)
+	sideRan := false
+	ss[0].Bootstrap("main", func(c Ctx) {
+		ss[0].Create(c, "side", false, func(cc Ctx) {
+			cc.P.Charge(sim.Micros(1))
+			sideRan = true
+		})
+		ss[0].Barrier(c)
+		if !sideRan {
+			t.Error("side thread did not run during barrier wait")
+		}
+	})
+	ss[1].Bootstrap("main", func(c Ctx) {
+		c.P.Charge(sim.Micros(500)) // arrive late
+		ss[1].Barrier(c)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !sideRan {
+		t.Fatal("side thread never ran")
+	}
+}
+
+func TestThreadReduce(t *testing.T) {
+	eng, ss := multiRig(t, 4)
+	got := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		ss[i].Bootstrap("main", func(c Ctx) {
+			got[i] = ss[i].Reduce(c, float64(i+1), cm5.ReduceSum)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if got[i] != 10 {
+			t.Fatalf("node %d reduce = %v, want 10", i, got[i])
+		}
+	}
+}
+
+func TestThreadORSplitPhase(t *testing.T) {
+	eng, ss := multiRig(t, 3)
+	got := make([]bool, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		ss[i].Bootstrap("main", func(c Ctx) {
+			ss[i].OREnter(i == 1)
+			c.P.Charge(sim.Micros(3)) // overlapped work
+			got[i] = ss[i].ORWait(c)
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !got[i] {
+			t.Fatalf("node %d OR = false, want true", i)
+		}
+	}
+}
+
+// TestFreeResume: a thread that blocks and is woken by a kernel event
+// while it is the acting scheduler resumes without a context switch.
+func TestFreeResume(t *testing.T) {
+	eng, ss := multiRig(t, 1)
+	s := ss[0]
+	f := &Flag{}
+	var blockedAt, wokeAt sim.Time
+	s.Bootstrap("main", func(c Ctx) {
+		blockedAt = c.P.Now()
+		f.Wait(c)
+		wokeAt = c.P.Now()
+	})
+	eng.After(sim.Micros(30), func() { f.Set() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_ = blockedAt
+	if wokeAt != sim.Time(sim.Micros(30)) {
+		t.Fatalf("woke at %v, want exactly 30us (free resume, no switch)", wokeAt)
+	}
+	st := s.Stats()
+	if st.FreeResumes != 1 {
+		t.Fatalf("FreeResumes = %d, want 1", st.FreeResumes)
+	}
+	if st.SwitchHalves != 0 {
+		t.Fatalf("SwitchHalves = %d, want 0", st.SwitchHalves)
+	}
+}
+
+// TestBlockedThreadStartsNewThreadLiveStack: a new thread created while
+// the only other thread is blocked starts via the live-stack path, and
+// the blocked thread's later restore is the only full switch.
+func TestBlockedThreadStartsNewThreadLiveStack(t *testing.T) {
+	eng, ss := multiRig(t, 1)
+	s := ss[0]
+	f := &Flag{}
+	var childStart sim.Time
+	s.Bootstrap("main", func(c Ctx) {
+		s.Create(c, "child", false, func(cc Ctx) {
+			childStart = cc.P.Now()
+			cc.P.Charge(sim.Micros(5))
+			f.Set()
+		})
+		created := c.P.Now()
+		f.Wait(c)
+		// The child must have started immediately when we blocked: we
+		// became the acting scheduler and called it on the live stack.
+		if childStart != created {
+			t.Errorf("child started %v, want %v (live-stack from blocked context)",
+				childStart, created)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.LiveStackStart != 2 {
+		t.Fatalf("LiveStackStart = %d, want 2", st.LiveStackStart)
+	}
+}

@@ -1,0 +1,54 @@
+package threads
+
+// deque is a slice-backed ring deque of threads: the ready queue. The
+// paper's experiments compare scheduling incoming RPC threads at the front
+// versus the back of the queue, so both ends must be cheap.
+type deque struct {
+	buf   []*Thread
+	head  int
+	count int
+}
+
+func (d *deque) len() int { return d.count }
+
+func (d *deque) grow() {
+	n := len(d.buf)
+	if n == 0 {
+		d.buf = make([]*Thread, 8)
+		return
+	}
+	nb := make([]*Thread, 2*n)
+	for i := 0; i < d.count; i++ {
+		nb[i] = d.buf[(d.head+i)%n]
+	}
+	d.buf = nb
+	d.head = 0
+}
+
+func (d *deque) pushBack(t *Thread) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.count)%len(d.buf)] = t
+	d.count++
+}
+
+func (d *deque) pushFront(t *Thread) {
+	if d.count == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1 + len(d.buf)) % len(d.buf)
+	d.buf[d.head] = t
+	d.count++
+}
+
+func (d *deque) popFront() *Thread {
+	if d.count == 0 {
+		return nil
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % len(d.buf)
+	d.count--
+	return t
+}

@@ -1,0 +1,21 @@
+// Package threads is a simple, optimized, non-preemptive, user-level
+// thread package for the nodes of the simulated machine, mirroring the one
+// the paper built for the CM-5 SPARC nodes (section 3.1).
+//
+// Each node has a Scheduler with a ready queue and an idle loop that polls
+// the network when no thread is runnable. Threads run to completion except
+// when they suspend on a Mutex or Cond or voluntarily Yield. The package
+// charges the paper's measured costs: creating a thread costs 7 us; a full
+// context switch between two live contexts costs 52 us; starting a newly
+// created thread from the idle loop or from the stack of a terminated
+// thread is free beyond the creation cost — the "live-stack" optimization,
+// which the statistics report because the paper tracks how often it
+// applies.
+//
+// Execution contexts. Code runs either as a thread (with a descriptor,
+// schedulable, may block) or as a handler on whatever context polled the
+// network (no descriptor, must not block). Both are represented by Ctx;
+// handler contexts have a nil Thread. Blocking operations panic when
+// invoked from a handler context — exactly the Active Messages restriction
+// that Optimistic Active Messages (package oam) exists to lift.
+package threads

@@ -1,0 +1,38 @@
+package threads
+
+import "repro/internal/sim"
+
+// Message-interrupt support. The CM-5 could deliver messages by
+// interrupt, but "taking interrupts is fairly expensive" (section 4), so
+// the paper's applications use carefully tuned polling. With interrupts
+// enabled on a scheduler, a packet arriving while a thread is inside
+// Compute preempts the computation: the interrupt overhead is charged,
+// pending messages are dispatched (as handlers, or OAM/TRPC dispatch),
+// and the computation resumes where it left off.
+
+// EnableInterrupts switches this node from pure polling to
+// interrupt-driven message delivery for computations that use Compute.
+func (s *Scheduler) EnableInterrupts() { s.interrupts = true }
+
+// Compute charges d of CPU time on behalf of the calling context. In
+// polling mode (the default) it is a plain charge that no message can
+// preempt. With interrupts enabled, message arrivals interrupt the
+// computation at their delivery time.
+func (s *Scheduler) Compute(c Ctx, d sim.Duration) {
+	s.checkOnCPU(c, "Compute")
+	if !s.interrupts {
+		c.P.Charge(d)
+		return
+	}
+	rem := d
+	for rem > 0 {
+		rem = c.P.ChargeInterruptible(rem)
+		if rem > 0 {
+			s.stats.Interrupts++
+			c.P.Charge(s.cost.InterruptOverhead)
+			for s.poller != nil && s.node.Pending() > 0 {
+				s.poller.PollOnce(Ctx{P: c.P, S: s})
+			}
+		}
+	}
+}

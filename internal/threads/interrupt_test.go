@@ -1,0 +1,147 @@
+package threads
+
+import (
+	"testing"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// TestComputePollingModeIsPlainCharge: without interrupts, Compute is
+// exactly Charge.
+func TestComputePollingModeIsPlainCharge(t *testing.T) {
+	eng, s := rig(t)
+	s.Bootstrap("main", func(c Ctx) {
+		t0 := c.P.Now()
+		s.Compute(c, sim.Micros(100))
+		if d := c.P.Now().Sub(t0); d != sim.Micros(100) {
+			t.Errorf("compute took %v, want 100us", d)
+		}
+	})
+	run(t, eng)
+}
+
+// TestInterruptPreemptsCompute: with interrupts enabled, a packet arrival
+// preempts the computation, the handler runs immediately (plus overhead),
+// and the computation still completes in full.
+func TestInterruptPreemptsCompute(t *testing.T) {
+	eng := sim.New(7)
+	m := cm5.NewMachine(eng, 2, cm5.DefaultCostModel())
+	s0 := NewScheduler(m.Node(0))
+	s1 := NewScheduler(m.Node(1))
+	defer eng.Shutdown()
+	cost := cm5.DefaultCostModel()
+
+	var handledAt sim.Time
+	s0.SetPoller(pollerFunc(func(c Ctx) bool {
+		if pkt := m.Node(0).PollPacket(c.P); pkt != nil {
+			handledAt = c.P.Now()
+			return true
+		}
+		return false
+	}))
+	s0.EnableInterrupts()
+
+	var computeDone sim.Time
+	s0.Bootstrap("main", func(c Ctx) {
+		s0.Compute(c, sim.Micros(1000))
+		computeDone = c.P.Now()
+	})
+	var sentAt sim.Time
+	s1.Bootstrap("sender", func(c Ctx) {
+		c.P.Charge(sim.Micros(200))
+		m.Node(1).TryInject(c.P, &cm5.Packet{Src: 1, Dst: 0, Kind: cm5.Small})
+		sentAt = c.P.Now()
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	arrival := sentAt.Add(cost.WireLatency)
+	wantHandled := arrival.Add(cost.InterruptOverhead + cost.PacketRecvOverhead)
+	if handledAt != wantHandled {
+		t.Fatalf("handled at %v, want %v (arrival + interrupt overhead)", handledAt, wantHandled)
+	}
+	// Total compute time preserved: 1000us of work + one interrupt's
+	// overhead and handling.
+	if computeDone < sim.Time(sim.Micros(1000+50)) {
+		t.Fatalf("compute done at %v: lost work", computeDone)
+	}
+	if st := s0.Stats(); st.Interrupts != 1 {
+		t.Fatalf("interrupts = %d, want 1", st.Interrupts)
+	}
+}
+
+// pollerFunc adapts a function to the Poller interface.
+type pollerFunc func(Ctx) bool
+
+func (f pollerFunc) PollOnce(c Ctx) bool { return f(c) }
+
+// TestInterruptWhileIdleFallsBackToWake: packets arriving while the node
+// is idle behave as in polling mode (the idle scheduler wakes and polls);
+// no interrupt is taken.
+func TestInterruptWhileIdleFallsBackToWake(t *testing.T) {
+	eng := sim.New(7)
+	m := cm5.NewMachine(eng, 2, cm5.DefaultCostModel())
+	s0 := NewScheduler(m.Node(0))
+	s1 := NewScheduler(m.Node(1))
+	defer eng.Shutdown()
+	handled := false
+	s0.SetPoller(pollerFunc(func(c Ctx) bool {
+		if m.Node(0).PollPacket(c.P) != nil {
+			handled = true
+			return true
+		}
+		return false
+	}))
+	s0.EnableInterrupts()
+	s1.Bootstrap("sender", func(c Ctx) {
+		c.P.Charge(sim.Micros(10))
+		m.Node(1).TryInject(c.P, &cm5.Packet{Src: 1, Dst: 0, Kind: cm5.Small})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !handled {
+		t.Fatal("idle node never handled the packet")
+	}
+	if st := s0.Stats(); st.Interrupts != 0 {
+		t.Fatalf("interrupts = %d, want 0 (node was idle)", st.Interrupts)
+	}
+}
+
+// TestMultipleInterruptsDuringOneCompute: every arrival during a long
+// computation is serviced promptly.
+func TestMultipleInterruptsDuringOneCompute(t *testing.T) {
+	eng := sim.New(7)
+	m := cm5.NewMachine(eng, 2, cm5.DefaultCostModel())
+	s0 := NewScheduler(m.Node(0))
+	s1 := NewScheduler(m.Node(1))
+	defer eng.Shutdown()
+	handled := 0
+	s0.SetPoller(pollerFunc(func(c Ctx) bool {
+		if m.Node(0).PollPacket(c.P) != nil {
+			handled++
+			return true
+		}
+		return false
+	}))
+	s0.EnableInterrupts()
+	s0.Bootstrap("main", func(c Ctx) {
+		s0.Compute(c, sim.Micros(5000))
+	})
+	s1.Bootstrap("sender", func(c Ctx) {
+		for i := 0; i < 5; i++ {
+			c.P.Charge(sim.Micros(400))
+			m.Node(1).TryInject(c.P, &cm5.Packet{Src: 1, Dst: 0, Kind: cm5.Small})
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if handled != 5 {
+		t.Fatalf("handled = %d, want 5", handled)
+	}
+	if st := s0.Stats(); st.Interrupts != 5 {
+		t.Fatalf("interrupts = %d, want 5", st.Interrupts)
+	}
+}

@@ -1,0 +1,401 @@
+package threads
+
+import (
+	"fmt"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// Poller is the hook through which the scheduler services the network.
+// Package am installs one per node; PollOnce must poll the node's input
+// queue once and dispatch at most one packet, returning whether a packet
+// was handled. It runs on a handler context (Ctx with nil Thread).
+type Poller interface {
+	PollOnce(c Ctx) bool
+}
+
+// Stats counts scheduler activity; the paper reports the live-stack
+// fraction (sections 4.1.1, 4.2.1) so it is tracked explicitly.
+type Stats struct {
+	Created        uint64 // threads created
+	Starts         uint64 // threads started (first run)
+	LiveStackStart uint64 // starts that used the live-stack optimization
+	SwitchHalves   uint64 // 26 us register save/restore charges
+	FreeResumes    uint64 // blocked threads that resumed in place, free
+	Yields         uint64 // voluntary yields that actually switched
+	Blocks         uint64 // thread suspensions (mutex, cond, rpc, barrier)
+	Adopted        uint64 // lazy promotions of handler executions (oam)
+	Interrupts     uint64 // message interrupts taken (interrupt mode)
+}
+
+// LiveStackPercent reports the fraction of thread starts that avoided a
+// full context switch.
+func (s *Stats) LiveStackPercent() float64 {
+	if s.Starts == 0 {
+		return 100
+	}
+	return 100 * float64(s.LiveStackStart) / float64(s.Starts)
+}
+
+// Scheduler is the per-node, non-preemptive, user-level thread scheduler.
+// It owns the node's CPU: exactly one context — a thread, a handler, or
+// the scheduler loop itself — executes per node at any simulated instant.
+//
+// As in the paper, "the thread scheduler runs in the context of the
+// thread that called it": when a thread blocks it keeps executing as the
+// *acting scheduler*, polling the network and looking for runnable
+// threads. If its own wakeup arrives first it simply returns — a free
+// resume, which is why a blocking RPC costs no context switch on an
+// otherwise idle node. Starting a newly created thread from the acting
+// scheduler (whose thread is suspended or dead) is also free beyond the
+// 7 us creation cost — the live-stack optimization. Only two operations
+// pay the full 52 us switch: leaving a still-runnable thread (yield), and
+// restoring a previously suspended thread.
+type Scheduler struct {
+	node *cm5.Node
+	eng  *sim.Engine
+	cost cm5.CostModel
+
+	ready deque
+	cur   *Thread // thread on the CPU; nil while the scheduler loop acts
+	// actor is the process currently running the scheduler loop (polling,
+	// dispatching); nil while a thread has the CPU. Invariant: exactly
+	// one of cur/actor is non-nil except inside a CPU handoff.
+	actor      *sim.Proc
+	idle       *sim.Proc // scheduler-of-last-resort process
+	lent       []lendEntry
+	poller     Poller
+	stats      Stats
+	stopped    bool
+	interrupts bool
+	blocked    map[*Thread]struct{}
+}
+
+// NewScheduler creates the scheduler for node and starts its idle
+// process, which acts as the scheduler whenever no thread context is
+// available to act in.
+func NewScheduler(node *cm5.Node) *Scheduler {
+	s := &Scheduler{
+		node: node,
+		eng:  node.Machine().Engine(),
+		cost: node.Machine().Cost(),
+	}
+	s.idle = s.eng.Spawn(fmt.Sprintf("idle/%d", node.ID()), s.idleLoop)
+	// A packet arrival resumes the acting scheduler if it is parked with
+	// nothing to do; if a thread is running (or the CPU is lent to an
+	// optimistic execution) the packet waits in the input queue until the
+	// node polls — CM-5 polling semantics.
+	node.SetWake(s.wakeActor)
+	return s
+}
+
+// Node returns the node this scheduler runs.
+func (s *Scheduler) Node() *cm5.Node { return s.node }
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// SetPoller installs the scheduler's network service hook.
+func (s *Scheduler) SetPoller(p Poller) { s.poller = p }
+
+// Stop makes the idle process exit the next time it acts with nothing to
+// do. Threads still in the system are unaffected; the engine's Shutdown
+// reaps everything.
+func (s *Scheduler) Stop() {
+	s.stopped = true
+	s.wakeActor()
+}
+
+// Running returns the thread currently on the CPU, or nil if the
+// scheduler loop (or a handler running on it) has the CPU.
+func (s *Scheduler) Running() *Thread { return s.cur }
+
+// blockedThreads tracks live suspended threads for deadlock diagnostics.
+// A thread enters on block and leaves on resume or death; the map is
+// small (suspended threads only).
+func (s *Scheduler) noteBlocked(t *Thread) {
+	if s.blocked == nil {
+		s.blocked = make(map[*Thread]struct{})
+	}
+	s.blocked[t] = struct{}{}
+}
+
+func (s *Scheduler) noteUnblocked(t *Thread) {
+	delete(s.blocked, t)
+}
+
+// Blocked returns the names of threads currently suspended on this node,
+// for deadlock reports.
+func (s *Scheduler) Blocked() []string {
+	var names []string
+	for t := range s.blocked {
+		names = append(names, t.name)
+	}
+	return names
+}
+
+// wakeActor resumes the acting scheduler when it is parked with nothing
+// to do. When the CPU is lent to an optimistic execution the actor is
+// parked inside the OAM dispatch protocol, not in its loop, and must not
+// be woken here. With interrupts enabled, a context computing inside
+// Compute is preempted instead.
+func (s *Scheduler) wakeActor() {
+	if s.interrupts && len(s.lent) == 0 {
+		if s.cpuProc().Interrupt() {
+			return
+		}
+	}
+	if len(s.lent) == 0 && s.actor != nil && s.actor.Parked() {
+		s.actor.Unpark()
+	}
+}
+
+// idleLoop is the body of the scheduler-of-last-resort process: it acts
+// as the scheduler whenever no blocked thread's context is available
+// (at start-up, and after a thread exits leaving nothing runnable).
+func (s *Scheduler) idleLoop(p *sim.Proc) {
+	for !s.stopped {
+		s.schedulerLoop(p, nil)
+	}
+}
+
+// schedulerLoop runs the scheduler in the context of process p. self is
+// the blocked thread whose context p is, or nil for the idle process.
+// The loop returns when either (a) self became runnable and resumed in
+// place — the free resume — or (b) the CPU was handed to another thread,
+// p parked, and p has now been resumed (for a thread: it was restored;
+// for the idle process: it is the actor again).
+func (s *Scheduler) schedulerLoop(p *sim.Proc, self *Thread) {
+	s.actor = p
+	for {
+		if next := s.ready.popFront(); next != nil {
+			if next == self {
+				// Our own wakeup arrived while we polled: return
+				// directly into the blocked thread. No switch, no cost —
+				// the scheduler was running on our stack all along.
+				s.stats.FreeResumes++
+				s.actor = nil
+				self.state = stateRunning
+				s.cur = self
+				return
+			}
+			s.actor = nil
+			s.startOrResume(p, next, false)
+			p.Park()
+			return
+		}
+		if s.poller != nil && s.node.Pending() > 0 {
+			s.poller.PollOnce(Ctx{P: p, S: s})
+			continue
+		}
+		if s.stopped && self == nil {
+			s.actor = nil
+			return
+		}
+		// Nothing runnable, nothing to poll: sleep until a packet
+		// delivery or a wakeup arrives.
+		p.Park()
+	}
+}
+
+// startOrResume hands the CPU to thread t, charging switch costs to p,
+// the context giving it up (that is whose CPU time it is on this node's
+// timeline).
+//
+// Cost model, matching the paper's measurements: a *yield* away from a
+// still-runnable thread charges the full 52 us context switch up front
+// (Yield does this before handing off) and marks the yielder prepaid, so
+// its later restore is free — which is how the TRPC busy-server round
+// trip comes out at create + one switch (74 us). A *blocked* thread's
+// registers are saved lazily (free — if it resumes in place nothing was
+// needed); restoring a non-prepaid suspended thread charges the restore
+// half (26 us). A brand-new thread started from the acting scheduler —
+// whose own thread is suspended or dead — runs on the live stack, free
+// beyond its creation cost. fromRunnable reports a yield handoff, which
+// is never a live-stack start.
+func (s *Scheduler) startOrResume(p *sim.Proc, t *Thread, fromRunnable bool) {
+	switch t.state {
+	case stateNew:
+		s.stats.Starts++
+		if !fromRunnable {
+			s.stats.LiveStackStart++
+		}
+		t.state = stateRunning
+		s.cur = t
+		t.proc = s.eng.Spawn(t.name, t.run)
+	case stateReady:
+		if t.prepaid {
+			t.prepaid = false
+		} else {
+			s.stats.SwitchHalves++
+			p.Charge(s.cost.ContextSwitch / 2)
+		}
+		t.state = stateRunning
+		s.cur = t
+		t.proc.Unpark()
+	default:
+		panic(fmt.Sprintf("threads: cannot start thread in state %v", t.state))
+	}
+}
+
+// exitDispatch gives the CPU away from a dying thread: to the next ready
+// thread if any (started on the live stack when new), else to the idle
+// process, which becomes the acting scheduler. The calling process must
+// return (die) immediately afterwards.
+func (s *Scheduler) exitDispatch(p *sim.Proc) {
+	s.cur = nil
+	if next := s.ready.popFront(); next != nil {
+		s.startOrResume(p, next, false)
+		return
+	}
+	if s.idle.Parked() {
+		s.idle.Unpark()
+	}
+}
+
+// makeReady puts t on the ready queue (front or back) and wakes the
+// acting scheduler if it is asleep. It never switches: the scheduler is
+// non-preemptive, so the current context keeps running. Safe to call
+// from kernel callbacks (control-network releases).
+func (s *Scheduler) makeReady(t *Thread, front bool) {
+	switch t.state {
+	case stateNew, stateBlocked:
+		// ok
+	default:
+		panic(fmt.Sprintf("threads: makeReady of thread in state %v", t.state))
+	}
+	if t.state == stateBlocked {
+		t.state = stateReady
+		s.noteUnblocked(t)
+	}
+	if front {
+		s.ready.pushFront(t)
+	} else {
+		s.ready.pushBack(t)
+	}
+	s.wakeActor()
+}
+
+// Create allocates a new thread running body and places it on the ready
+// queue; front selects the queue end (the paper schedules incoming RPC
+// threads at the front). The creation cost (7 us) is charged to the
+// calling context. Create never switches; the new thread runs when the
+// scheduler next looks for work.
+func (s *Scheduler) Create(c Ctx, name string, front bool, body func(Ctx)) *Thread {
+	s.checkOnCPU(c, "Create")
+	s.stats.Created++
+	c.P.Charge(s.cost.ThreadCreate)
+	t := &Thread{sched: s, name: name, body: body, state: stateNew}
+	s.makeReady(t, front)
+	return t
+}
+
+// Bootstrap creates a thread before the simulation starts (no context to
+// charge). Use it for each node's initial SPMD "main" thread; everything
+// after time zero should use Create.
+func (s *Scheduler) Bootstrap(name string, body func(Ctx)) *Thread {
+	s.stats.Created++
+	t := &Thread{sched: s, name: name, body: body, state: stateNew}
+	s.makeReady(t, false)
+	return t
+}
+
+// Yield gives other runnable threads the CPU; if none exist it returns
+// immediately. The yielding thread goes to the back of the ready queue.
+// Because the yielding thread is still runnable, the switch costs the
+// full 52 us.
+func (s *Scheduler) Yield(c Ctx) {
+	t := c.T
+	if t == nil {
+		panic("threads: Yield from handler context")
+	}
+	s.checkCurrent(t, "Yield")
+	c.P.Charge(s.cost.YieldCheck)
+	if s.ready.len() == 0 {
+		return
+	}
+	s.stats.Yields++
+	t.state = stateBlocked
+	s.makeReady(t, false)
+	next := s.ready.popFront()
+	if next == t {
+		// Sole runnable thread: nothing to switch to after all.
+		t.state = stateRunning
+		return
+	}
+	// Leaving a runnable thread costs the full context switch, charged
+	// here; it prepays this thread's own restore (see startOrResume).
+	s.stats.SwitchHalves += 2
+	c.P.Charge(s.cost.ContextSwitch)
+	t.prepaid = true
+	s.cur = nil
+	s.startOrResume(c.P, next, true)
+	c.P.Park()
+}
+
+// blockCurrent suspends the running thread (which must be c.T) until
+// someone calls makeReady on it. The thread's context becomes the acting
+// scheduler: it polls the network and starts other threads while waiting,
+// and resumes for free if its own wakeup arrives first. Used by Mutex,
+// Cond, Flag, Join, barriers, and OAM promotion.
+func (s *Scheduler) blockCurrent(c Ctx) {
+	t := c.T
+	if t == nil {
+		panic("threads: blocking operation from handler context; " +
+			"handlers must not block (this is the Active Messages restriction)")
+	}
+	s.checkCurrent(t, "block")
+	s.stats.Blocks++
+	t.state = stateBlocked
+	s.noteBlocked(t)
+	s.cur = nil
+	s.schedulerLoop(c.P, t)
+	if s.cur != t {
+		panic(fmt.Sprintf("threads: thread %q resumed without the CPU", t.name))
+	}
+}
+
+func (s *Scheduler) checkCurrent(t *Thread, op string) {
+	if s.cur != t {
+		panic(fmt.Sprintf("threads: %s by thread %q which is not on the CPU", op, t.name))
+	}
+}
+
+// cpuProc returns the simulation process currently holding this node's
+// CPU: the innermost borrower if the CPU is lent, else the running
+// thread's process, else the acting scheduler's. Handlers execute on this
+// process regardless of which context polled the packet in.
+func (s *Scheduler) cpuProc() *sim.Proc {
+	if n := len(s.lent); n > 0 {
+		return s.lent[n-1].p
+	}
+	if s.cur != nil {
+		return s.cur.proc
+	}
+	if s.actor != nil {
+		return s.actor
+	}
+	return s.idle
+}
+
+// checkOnCPU validates that c is the context currently holding this
+// node's CPU. A handler context (nil Thread) is valid whenever its
+// process is the one on the CPU — handlers run inline in whatever context
+// polled.
+func (s *Scheduler) checkOnCPU(c Ctx, op string) {
+	if c.S != s {
+		panic(fmt.Sprintf("threads: %s with context of another node", op))
+	}
+	if c.P != s.cpuProc() {
+		panic(fmt.Sprintf("threads: %s from context not on the CPU", op))
+	}
+	if len(s.lent) > 0 && s.lent[len(s.lent)-1].p == c.P {
+		// A lent execution holds the CPU; it may carry an adopted thread
+		// identity that is not (yet) the scheduled current thread.
+		return
+	}
+	if c.T != nil && c.T != s.cur {
+		panic(fmt.Sprintf("threads: %s by thread %q which is not on the CPU", op, c.T.name))
+	}
+}

@@ -1,0 +1,141 @@
+package threads
+
+// Mutex is a node-local lock shared by the threads and handlers of one
+// node. Lock may block and therefore requires a thread context; handlers
+// use TryLock — optimistically executed remote procedures (package oam)
+// abort when TryLock fails, exactly as the paper's generated checks do.
+//
+// Unlock hands the lock directly to the first waiter and schedules it at
+// the front of the ready queue, so critical sections drain in FIFO order.
+type Mutex struct {
+	s       *Scheduler
+	held    bool
+	owner   *Thread // nil when held from a handler context
+	waiters []*Thread
+
+	// Contention counters, used by the experiment harness.
+	Acquisitions uint64
+	Contended    uint64
+}
+
+// NewMutex creates a mutex on node scheduler s.
+func NewMutex(s *Scheduler) *Mutex { return &Mutex{s: s} }
+
+// Held reports whether the mutex is currently held. Handlers test this
+// (or just TryLock) when deciding whether an optimistic execution must
+// abort.
+func (m *Mutex) Held() bool { return m.held }
+
+// Lock acquires the mutex, blocking the calling thread while it is held.
+func (m *Mutex) Lock(c Ctx) {
+	m.s.checkOnCPU(c, "Mutex.Lock")
+	c.P.Charge(m.s.cost.LockOp)
+	m.Acquisitions++
+	if !m.held {
+		m.held = true
+		m.owner = c.T
+		return
+	}
+	if c.T == nil {
+		panic("threads: Mutex.Lock would block in handler context; use TryLock")
+	}
+	m.Contended++
+	m.waiters = append(m.waiters, c.T)
+	m.s.blockCurrent(c)
+	// When we run again the unlocker has transferred ownership to us.
+	if m.owner != c.T {
+		panic("threads: woke from Lock without ownership")
+	}
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+// Usable from any context, including handlers.
+func (m *Mutex) TryLock(c Ctx) bool {
+	m.s.checkOnCPU(c, "Mutex.TryLock")
+	c.P.Charge(m.s.cost.LockOp)
+	if m.held {
+		return false
+	}
+	m.Acquisitions++
+	m.held = true
+	m.owner = c.T
+	return true
+}
+
+// Unlock releases the mutex. If threads are waiting, ownership passes
+// directly to the first waiter, which is made runnable at the front of
+// the ready queue; the caller keeps the CPU (the scheduler is
+// non-preemptive).
+func (m *Mutex) Unlock(c Ctx) {
+	m.s.checkOnCPU(c, "Mutex.Unlock")
+	if !m.held {
+		panic("threads: Unlock of unlocked mutex")
+	}
+	if m.owner != c.T {
+		panic("threads: Unlock by non-owner")
+	}
+	c.P.Charge(m.s.cost.LockOp)
+	if len(m.waiters) == 0 {
+		m.held = false
+		m.owner = nil
+		return
+	}
+	w := m.waiters[0]
+	copy(m.waiters, m.waiters[1:])
+	m.waiters = m.waiters[:len(m.waiters)-1]
+	m.owner = w
+	w.Resume(true)
+}
+
+// Cond is a condition variable tied to a Mutex, with the usual
+// wait/signal/broadcast operations. Only threads may Wait; handlers
+// (optimistic executions) test their predicate and abort instead, which is
+// the core OAM transformation.
+type Cond struct {
+	L       *Mutex
+	waiters []*Thread
+}
+
+// NewCond creates a condition variable using lock l.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+// Wait atomically releases the mutex and suspends the calling thread;
+// when woken it reacquires the mutex before returning. As always with
+// condition variables, callers must re-test their predicate in a loop.
+func (cv *Cond) Wait(c Ctx) {
+	if c.T == nil {
+		panic("threads: Cond.Wait from handler context")
+	}
+	if cv.L.owner != c.T {
+		panic("threads: Cond.Wait without holding the mutex")
+	}
+	cv.waiters = append(cv.waiters, c.T)
+	cv.L.Unlock(c)
+	c.S.blockCurrent(c)
+	cv.L.Lock(c)
+}
+
+// Signal wakes one waiter, if any. The woken thread goes to the back of
+// the ready queue; it still has to reacquire the mutex when it runs.
+func (cv *Cond) Signal(c Ctx) {
+	c.S.checkOnCPU(c, "Cond.Signal")
+	c.P.Charge(c.S.cost.LockOp)
+	if len(cv.waiters) == 0 {
+		return
+	}
+	w := cv.waiters[0]
+	copy(cv.waiters, cv.waiters[1:])
+	cv.waiters = cv.waiters[:len(cv.waiters)-1]
+	w.Resume(false)
+}
+
+// Broadcast wakes every waiter.
+func (cv *Cond) Broadcast(c Ctx) {
+	c.S.checkOnCPU(c, "Cond.Broadcast")
+	c.P.Charge(c.S.cost.LockOp)
+	ws := cv.waiters
+	cv.waiters = nil
+	for _, w := range ws {
+		w.Resume(false)
+	}
+}

@@ -1,0 +1,157 @@
+package threads
+
+import (
+	"fmt"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// threadState tracks a thread through its life cycle.
+type threadState uint8
+
+const (
+	stateNew     threadState = iota // created, waiting for first run
+	stateReady                      // suspended but runnable
+	stateRunning                    // on the CPU
+	stateBlocked                    // waiting (mutex, cond, join, rpc)
+	stateDead                       // body returned
+)
+
+func (st threadState) String() string {
+	switch st {
+	case stateNew:
+		return "new"
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateBlocked:
+		return "blocked"
+	case stateDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(st))
+	}
+}
+
+// Ctx is an execution context on a node's CPU: either a thread (T != nil)
+// or the handler/idle context (T == nil). Every operation that charges
+// virtual time or can block takes a Ctx.
+type Ctx struct {
+	P *sim.Proc
+	T *Thread
+	S *Scheduler
+}
+
+// Node returns the node whose CPU this context occupies.
+func (c Ctx) Node() *cm5.Node { return c.S.Node() }
+
+// IsHandler reports whether this context is a handler/idle context, which
+// must not block.
+func (c Ctx) IsHandler() bool { return c.T == nil }
+
+// Thread is a user-level thread: a descriptor plus (in this model) a
+// simulation process standing in for its stack.
+type Thread struct {
+	sched   *Scheduler
+	name    string
+	body    func(Ctx)
+	proc    *sim.Proc
+	state   threadState
+	prepaid bool // restore cost prepaid by a yield's full-switch charge
+	joiners []*Thread
+	done    bool
+}
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// State returns a human-readable state ("new", "ready", "running",
+// "blocked", "dead") for diagnostics.
+func (t *Thread) State() string { return t.state.String() }
+
+// Done reports whether the thread's body has returned.
+func (t *Thread) Done() bool { return t.done }
+
+// run is the thread's process body.
+func (t *Thread) run(p *sim.Proc) {
+	c := Ctx{P: p, T: t, S: t.sched}
+	t.body(c)
+	t.state = stateDead
+	t.done = true
+	for _, j := range t.joiners {
+		t.sched.makeReady(j, false)
+	}
+	t.joiners = nil
+	// The thread's stack is dead: the next ready thread, if new, starts
+	// via the live-stack optimization.
+	t.sched.exitDispatch(p)
+}
+
+// Join blocks the calling thread until t's body has returned.
+func (t *Thread) Join(c Ctx) {
+	if c.S != t.sched {
+		panic("threads: Join across nodes")
+	}
+	if t.done {
+		return
+	}
+	if c.T == nil {
+		panic("threads: Join from handler context")
+	}
+	t.joiners = append(t.joiners, c.T)
+	t.sched.blockCurrent(c)
+}
+
+// Block suspends the calling thread until someone calls Resume on it.
+// It is the low-level wait primitive beneath RPC reply waiting.
+func (s *Scheduler) Block(c Ctx) { s.blockCurrent(c) }
+
+// Resume makes a blocked thread runnable, at the front or back of the
+// ready queue. It may be called from any context on the same node,
+// including handlers; it never preempts the caller.
+func (t *Thread) Resume(front bool) {
+	t.sched.makeReady(t, front)
+}
+
+// Flag is a single-waiter completion flag: the synchronization between an
+// RPC client thread and the reply handler. Set may happen before Wait
+// (fast reply) or after (slow reply); both orders work.
+type Flag struct {
+	set    bool
+	waiter *Thread
+}
+
+// Wait blocks the calling thread until the flag is set. If the flag is
+// already set it returns immediately.
+func (f *Flag) Wait(c Ctx) {
+	if f.set {
+		return
+	}
+	if c.T == nil {
+		panic("threads: Flag.Wait from handler context")
+	}
+	if f.waiter != nil {
+		panic("threads: Flag has two waiters")
+	}
+	f.waiter = c.T
+	c.S.blockCurrent(c)
+}
+
+// Set sets the flag and wakes the waiter, if any, scheduling it at the
+// front of the ready queue (replies run promptly, like incoming calls).
+func (f *Flag) Set() {
+	if f.set {
+		panic("threads: Flag set twice")
+	}
+	f.set = true
+	if f.waiter != nil {
+		w := f.waiter
+		f.waiter = nil
+		w.Resume(true)
+	}
+}
+
+// IsSet reports whether Set has been called.
+func (f *Flag) IsSet() bool { return f.set }
