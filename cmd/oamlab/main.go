@@ -4,7 +4,7 @@
 //	oamlab [-quick] [-maxp N] [-csv] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
-// table3, ablation, schedpolicy, budget, buffering,
+// table3, ablation, schedpolicy, budget, buffering, chaos,
 // micro (table1+bulk+abortcost), all (everything).
 //
 // -quick shrinks the problem sizes so the suite runs in seconds; the
@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,43 +23,60 @@ import (
 )
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced problem sizes")
-	maxp := flag.Int("maxp", 0, "cap the largest machine size (0 = experiment default)")
-	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
-	svgdir := flag.String("svgdir", "", "also render figures as SVG into this directory")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oamlab", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced problem sizes")
+	maxp := fs.Int("maxp", 0, "cap the largest machine size (0 = experiment default)")
+	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
+	svgdir := fs.String("svgdir", "", "also render figures as SVG into this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
-	names := flag.Args()
+	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"all"}
 	}
 
+	code := 0
 	emit := func(t *exp.Table, err error) {
+		if code != 0 {
+			return
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "oamlab: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "oamlab: %v\n", err)
+			code = 1
+			return
 		}
 		if *csv {
-			t.CSV(os.Stdout)
-			fmt.Println()
+			t.CSV(stdout)
+			fmt.Fprintln(stdout)
 		} else {
-			t.Print(os.Stdout)
+			t.Print(stdout)
 		}
 	}
 
 	svg := func(base, title string, rows []exp.FigRow) {
-		if *svgdir == "" || rows == nil {
+		if *svgdir == "" || rows == nil || code != 0 {
 			return
 		}
 		if err := exp.WriteFigSVGs(*svgdir, base, title, rows); err != nil {
-			fmt.Fprintf(os.Stderr, "oamlab: svg: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "oamlab: svg: %v\n", err)
+			code = 1
+			return
 		}
-		fmt.Fprintf(os.Stderr, "[%s SVGs written to %s]\n", base, *svgdir)
+		fmt.Fprintf(stderr, "[%s SVGs written to %s]\n", base, *svgdir)
 	}
 
 	run := func(name string) {
+		if code != 0 {
+			return
+		}
 		start := time.Now()
 		switch name {
 		case "table1":
@@ -101,11 +119,17 @@ func main() {
 			emit(exp.InterruptsTable(), nil)
 		case "sorsizes":
 			emit(exp.SORSizesTable(scale.Quick))
+		case "chaos":
+			emit(exp.ChaosTable(scale))
+			emit(exp.ChaosNodeTable(scale))
 		default:
-			fmt.Fprintf(os.Stderr, "oamlab: unknown experiment %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "oamlab: unknown experiment %q\n", name)
+			code = 2
+			return
 		}
-		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		if code == 0 {
+			fmt.Fprintf(stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	for _, name := range names {
@@ -113,7 +137,8 @@ func main() {
 		case "all":
 			for _, n := range []string{"table1", "bulk", "abortcost", "fig1", "fig2",
 				"table2", "fig3", "fig4", "table3", "ablation", "appablation",
-				"schedpolicy", "budget", "buffering", "interrupts", "sorsizes"} {
+				"schedpolicy", "budget", "buffering", "interrupts", "sorsizes",
+				"chaos"} {
 				run(n)
 			}
 		case "micro":
@@ -124,4 +149,5 @@ func main() {
 			run(name)
 		}
 	}
+	return code
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeTable1 golden-checks the header of a cheap experiment.
+func TestSmokeTable1(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-quick", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "Table 1") {
+		t.Errorf("missing table title:\n%s", got)
+	}
+	if !strings.Contains(errb.String(), "[table1 done in ") {
+		t.Errorf("missing completion line:\n%s", errb.String())
+	}
+}
+
+// TestSmokeCSV: CSV mode emits a comma-joined header row.
+func TestSmokeCSV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-quick", "-csv", "abortcost"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Case,Cost (us)") {
+		t.Errorf("missing CSV header:\n%s", out.String())
+	}
+}
+
+// TestSmokeUnknownExperiment: bad names exit 2 without output.
+func TestSmokeUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown experiment "nosuch"`) {
+		t.Errorf("missing diagnostic:\n%s", errb.String())
+	}
+}
+
+// TestSmokeChaos runs the fault-injection sweep at quick scale and
+// golden-checks both tables' headers and that every row validated.
+func TestSmokeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep simulates several lossy runs")
+	}
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-quick", "chaos"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Chaos sweep",
+		"Drop%  Crashes",
+		"Retx",
+		"GaveUp",
+		"Per-node fault and recovery counters",
+		"(crashed)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "NO") {
+		t.Errorf("a chaos row failed validation:\n%s", got)
+	}
+}

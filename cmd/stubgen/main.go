@@ -9,40 +9,50 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/stubc"
 )
 
 func main() {
-	in := flag.String("in", "", "input .rpc specification file")
-	out := flag.String("out", "", "output .go file (default: stdout)")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stubgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "input .rpc specification file")
+	out := fs.String("out", "", "output .go file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "stubgen: -in is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "stubgen: -in is required")
+		return 2
 	}
 	src, err := os.ReadFile(*in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "stubgen: %v\n", err)
+		return 1
 	}
 	f, err := stubc.Parse(string(src))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stubgen: %s: %v\n", *in, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "stubgen: %s: %v\n", *in, err)
+		return 1
 	}
 	code, err := stubc.Generate(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "stubgen: %v\n", err)
+		return 1
 	}
 	if *out == "" {
-		os.Stdout.Write(code)
-		return
+		stdout.Write(code)
+		return 0
 	}
 	if err := os.WriteFile(*out, code, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "stubgen: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "stubgen: %v\n", err)
+		return 1
 	}
+	return 0
 }

@@ -27,15 +27,31 @@ type Stats struct {
 	HandlerTime sim.Duration // total virtual CPU time spent inside handlers
 }
 
+// Transport intercepts outgoing Active Messages. When one is installed on
+// a Universe every Endpoint send routes through it instead of injecting
+// directly; the transport eventually moves bytes with SendRaw/TrySendRaw
+// and hands received messages back with Endpoint.Deliver. This is the seam
+// the reliable-delivery layer plugs into; a nil transport (the default)
+// keeps the original direct path with zero overhead.
+type Transport interface {
+	// Send must eventually inject the message (it may drain, buffer, and
+	// retransmit along the way).
+	Send(c threads.Ctx, ep *Endpoint, dst int, h HandlerID, w [4]uint64, payload []byte, bulk bool)
+	// TrySend attempts a non-blocking send and reports whether the message
+	// was accepted for (eventual) delivery.
+	TrySend(c threads.Ctx, ep *Endpoint, dst int, h HandlerID, w [4]uint64, payload []byte, bulk bool) bool
+}
+
 // Universe bundles a machine, one thread scheduler per node, and the
 // shared handler table. It is the program image of an SPMD run.
 type Universe struct {
-	m        *cm5.Machine
-	scheds   []*threads.Scheduler
-	eps      []*Endpoint
-	handlers []Handler
-	names    []string
-	stats    Stats
+	m         *cm5.Machine
+	scheds    []*threads.Scheduler
+	eps       []*Endpoint
+	handlers  []Handler
+	names     []string
+	stats     Stats
+	transport Transport
 }
 
 // NewUniverse builds an n-node machine with schedulers and Active Message
@@ -68,6 +84,10 @@ func (u *Universe) Endpoint(i int) *Endpoint { return u.eps[i] }
 
 // Stats returns a snapshot of the universe's AM counters.
 func (u *Universe) Stats() Stats { return u.stats }
+
+// SetTransport installs (or, with nil, removes) a send-path interceptor.
+// Like Register, call it before the simulation starts.
+func (u *Universe) SetTransport(t Transport) { u.transport = t }
 
 // Register adds a handler to the shared table and returns its ID. All
 // registration must happen before the simulation starts, as it would on a
@@ -108,35 +128,71 @@ func (ep *Endpoint) packet(dst int, h HandlerID, kind cm5.PacketKind, w [4]uint6
 // buffer is full — the "network busy" condition that makes an optimistic
 // execution abort.
 func (ep *Endpoint) TrySend(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) bool {
-	if ep.node.TryInject(c.P, ep.packet(dst, h, cm5.Small, w, payload)) {
-		ep.u.stats.Sends++
-		return true
+	if t := ep.u.transport; t != nil {
+		return t.TrySend(c, ep, dst, h, w, payload, false)
 	}
-	return false
+	return ep.TrySendRaw(c, dst, h, w, payload, false)
 }
 
 // Send transmits a small Active Message, draining incoming messages while
 // the destination's buffer is full (the CMMD deadlock-avoidance protocol:
 // the send routine polls the network before sending).
 func (ep *Endpoint) Send(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) {
-	pkt := ep.packet(dst, h, cm5.Small, w, payload)
-	ep.sendDraining(c, pkt)
-	ep.u.stats.Sends++
+	if t := ep.u.transport; t != nil {
+		t.Send(c, ep, dst, h, w, payload, false)
+		return
+	}
+	ep.SendRaw(c, dst, h, w, payload, false)
 }
 
 // SendBulk transmits a block transfer (the scopy path), draining while the
 // destination's buffer is full. The sending CPU is busy for the setup and
 // streaming time.
 func (ep *Endpoint) SendBulk(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) {
-	pkt := ep.packet(dst, h, cm5.Bulk, w, payload)
-	ep.sendDraining(c, pkt)
-	ep.u.stats.BulkSends++
+	if t := ep.u.transport; t != nil {
+		t.Send(c, ep, dst, h, w, payload, true)
+		return
+	}
+	ep.SendRaw(c, dst, h, w, payload, true)
 }
 
 // TrySendBulk is the non-blocking bulk variant.
 func (ep *Endpoint) TrySendBulk(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte) bool {
-	if ep.node.TryInject(c.P, ep.packet(dst, h, cm5.Bulk, w, payload)) {
+	if t := ep.u.transport; t != nil {
+		return t.TrySend(c, ep, dst, h, w, payload, true)
+	}
+	return ep.TrySendRaw(c, dst, h, w, payload, true)
+}
+
+// SendRaw transmits directly on the wire, bypassing any installed
+// transport: the draining-send path of the original Endpoint.Send /
+// SendBulk. Transports call this to move their framed messages (and
+// retransmissions) without recursing into themselves.
+func (ep *Endpoint) SendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte, bulk bool) {
+	kind := cm5.Small
+	if bulk {
+		kind = cm5.Bulk
+	}
+	ep.sendDraining(c, ep.packet(dst, h, kind, w, payload))
+	if bulk {
 		ep.u.stats.BulkSends++
+	} else {
+		ep.u.stats.Sends++
+	}
+}
+
+// TrySendRaw is the non-blocking direct-wire send.
+func (ep *Endpoint) TrySendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64, payload []byte, bulk bool) bool {
+	kind := cm5.Small
+	if bulk {
+		kind = cm5.Bulk
+	}
+	if ep.node.TryInject(c.P, ep.packet(dst, h, kind, w, payload)) {
+		if bulk {
+			ep.u.stats.BulkSends++
+		} else {
+			ep.u.stats.Sends++
+		}
 		return true
 	}
 	return false
@@ -180,6 +236,11 @@ func (ep *Endpoint) pollOnce(c threads.Ctx) bool {
 	ep.dispatch(c, pkt)
 	return true
 }
+
+// Deliver runs pkt's handler inline on this endpoint, exactly as if the
+// packet had just been polled off the wire. Transports use it to hand a
+// de-framed inner message up to the application layer.
+func (ep *Endpoint) Deliver(c threads.Ctx, pkt *cm5.Packet) { ep.dispatch(c, pkt) }
 
 // dispatch runs pkt's handler inline. The handler context is derived from
 // the polling context but has no thread: handlers are not schedulable.

@@ -1,0 +1,51 @@
+package triangle
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cm5"
+	"repro/internal/reliable"
+)
+
+// TestLossyRunsStayExact: with the reliable transport attached, both the
+// hand-coded AM variant and ORPC survive packet loss and duplication with
+// a bit-exact solution count. (Triangle's level quiesce compares global
+// sent vs received counts, so without retransmission a single lost insert
+// would spin the reduction loop forever.)
+func TestLossyRunsStayExact(t *testing.T) {
+	want := cfg5.BoardCounts().Solutions
+	for _, sys := range []apps.System{apps.AM, apps.ORPC} {
+		cfg := cfg5
+		cfg.Fault = &cm5.FaultPlan{Seed: 21, DropProb: 0.02, DupProb: 0.01}
+		cfg.Reliable = &reliable.Options{}
+		res, err := Run(sys, 4, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", sys, err)
+		}
+		if res.Answer != want {
+			t.Errorf("%v: solutions = %d, want %d", sys, res.Answer, want)
+		}
+	}
+}
+
+// TestLossyDeterminism: the lossy ORPC run is reproducible.
+func TestLossyDeterminism(t *testing.T) {
+	run := func() (apps.Result, error) {
+		cfg := cfg5
+		cfg.Fault = &cm5.FaultPlan{Seed: 4, DropProb: 0.05}
+		cfg.Reliable = &reliable.Options{}
+		return Run(apps.ORPC, 3, cfg)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Answer != b.Answer {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d", a.Elapsed, a.Answer, b.Elapsed, b.Answer)
+	}
+}

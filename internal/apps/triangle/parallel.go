@@ -8,6 +8,7 @@ import (
 	trigen "repro/internal/apps/triangle/gen"
 	"repro/internal/cm5"
 	"repro/internal/oam"
+	"repro/internal/reliable"
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/threads"
@@ -34,6 +35,13 @@ type Config struct {
 	// Strategy selects the OAM abort strategy for the ORPC variant
 	// (default Rerun, the paper's prototype).
 	Strategy oam.Strategy
+	// Fault, if non-nil, injects the given deterministic fault plan.
+	// Loss or duplication requires Reliable, or the level quiesce
+	// (sent == received reductions) never converges. Triangle has no
+	// crash recovery: keep Crashes empty.
+	Fault *cm5.FaultPlan
+	// Reliable, if non-nil, attaches the reliable transport.
+	Reliable *reliable.Options
 }
 
 func (c *Config) board() *Board {
@@ -99,6 +107,10 @@ func Run(sys apps.System, nodes int, cfg Config) (apps.Result, error) {
 	eng := sim.New(cfg.Seed)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(cfg.Fault)
+	if cfg.Reliable != nil {
+		reliable.Attach(u, *cfg.Reliable)
+	}
 
 	states := make([]*nodeState, nodes)
 	for i := range states {

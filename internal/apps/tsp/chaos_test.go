@@ -1,0 +1,104 @@
+package tsp
+
+import (
+	"testing"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// TestChaosPerfectNetwork: the fault-tolerant variant on a fault-free
+// machine still finds the exact optimum.
+func TestChaosPerfectNetwork(t *testing.T) {
+	cfg := ChaosConfig{Cities: 9, Seed: 12}
+	want := uint64(NewProblem(cfg.Cities, cfg.Seed).SolveSeq().Best)
+	res, st, err := RunChaos(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != want {
+		t.Fatalf("best = %d, want %d", res.Answer, want)
+	}
+	if st.Reissued != 0 || st.Timeouts != 0 || st.Fault.Lost() != 0 {
+		t.Fatalf("robustness machinery fired on a perfect network: %+v", st)
+	}
+}
+
+// TestChaosLossOnly: 2% packet loss, no crashes — retransmission keeps
+// the answer exact.
+func TestChaosLossOnly(t *testing.T) {
+	cfg := ChaosConfig{
+		Cities: 9, Seed: 12,
+		Fault: &cm5.FaultPlan{Seed: 42, DropProb: 0.02},
+	}
+	want := uint64(NewProblem(cfg.Cities, cfg.Seed).SolveSeq().Best)
+	res, st, err := RunChaos(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != want {
+		t.Fatalf("best = %d, want %d (stats %+v)", res.Answer, want, st)
+	}
+	if st.Fault.Dropped == 0 || st.Rel.Retransmits == 0 {
+		t.Fatalf("expected drops and retransmits: %+v", st)
+	}
+}
+
+// TestChaosLossAndCrash is the headline robustness scenario: 2% loss plus
+// one slave crashing mid-run. The master must detect the dead slave's
+// expired leases, re-issue its jobs, and still compute the exact optimum.
+func TestChaosLossAndCrash(t *testing.T) {
+	cfg := ChaosConfig{
+		Cities: 9, Seed: 12,
+		Fault: &cm5.FaultPlan{
+			Seed:     42,
+			DropProb: 0.02,
+			Crashes:  []cm5.Crash{{Node: 3, At: sim.Time(30 * sim.Millisecond)}},
+		},
+	}
+	want := uint64(NewProblem(cfg.Cities, cfg.Seed).SolveSeq().Best)
+	res, st, err := RunChaos(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Answer != want {
+		t.Fatalf("best = %d, want %d (stats %+v)", res.Answer, want, st)
+	}
+	if st.Fault.Crashes != 1 {
+		t.Fatalf("crash did not fire: %+v", st.Fault)
+	}
+	if st.Reissued == 0 {
+		t.Fatalf("master never re-issued the dead slave's lease: %+v", st)
+	}
+	t.Logf("elapsed=%v reissued=%d timeouts=%d retx=%d dropped=%d",
+		res.Elapsed, st.Reissued, st.Timeouts, st.Rel.Retransmits, st.Fault.Dropped)
+}
+
+// TestChaosDeterminism: same seed, same plan — same answer, same elapsed
+// time, same fault trace hash.
+func TestChaosDeterminism(t *testing.T) {
+	cfg := ChaosConfig{
+		Cities: 8, Seed: 5,
+		Fault: &cm5.FaultPlan{
+			Seed:     9,
+			DropProb: 0.03,
+			DupProb:  0.01,
+			Crashes:  []cm5.Crash{{Node: 2, At: sim.Time(20 * sim.Millisecond)}},
+		},
+	}
+	r1, s1, err := RunChaos(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := RunChaos(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Elapsed != r2.Elapsed || r1.Answer != r2.Answer || s1.FaultHash != s2.FaultHash {
+		t.Fatalf("nondeterministic: elapsed %v/%v answer %d/%d hash %x/%x",
+			r1.Elapsed, r2.Elapsed, r1.Answer, r2.Answer, s1.FaultHash, s2.FaultHash)
+	}
+	if s1.Rel != s2.Rel || s1.Fault != s2.Fault {
+		t.Fatalf("stats diverge:\n%+v\n%+v", s1, s2)
+	}
+}

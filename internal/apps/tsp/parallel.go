@@ -9,6 +9,7 @@ import (
 	tspgen "repro/internal/apps/tsp/gen"
 	"repro/internal/cm5"
 	"repro/internal/oam"
+	"repro/internal/reliable"
 	"repro/internal/rpc"
 	"repro/internal/sim"
 	"repro/internal/threads"
@@ -32,6 +33,14 @@ type Config struct {
 	// Strategy selects the OAM abort strategy for the ORPC variant
 	// (default Rerun, the paper's prototype).
 	Strategy oam.Strategy
+	// Fault, if non-nil, injects the given deterministic fault plan into
+	// the data network. Plans that lose packets require Reliable, or calls
+	// hang; plans with crashes additionally require RunChaos, which knows
+	// how to re-issue a dead slave's work.
+	Fault *cm5.FaultPlan
+	// Reliable, if non-nil, attaches the reliable transport with these
+	// options so every message survives loss via ack/retransmit.
+	Reliable *reliable.Options
 }
 
 // SeqTime returns the simulated sequential running time implied by the
@@ -54,6 +63,10 @@ func Run(sys apps.System, slaves int, cfg Config) (apps.Result, error) {
 	eng := sim.New(cfg.Seed)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(cfg.Fault)
+	if cfg.Reliable != nil {
+		reliable.Attach(u, *cfg.Reliable)
+	}
 
 	states := make([]*nodeState, nodes)
 	for i := range states {

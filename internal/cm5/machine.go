@@ -16,6 +16,7 @@ type Machine struct {
 	nodes []*Node
 	ctl   *controlNetwork
 	stats NetStats
+	fault *faultState // nil = perfect network (the default)
 }
 
 // NetStats aggregates data-network traffic counters.
@@ -108,7 +109,18 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 		panic(fmt.Sprintf("cm5: packet dst %d out of range", pkt.Dst))
 	}
 	dst := n.m.nodes[pkt.Dst]
-	if dst.nic.full() {
+	f := n.m.fault
+	now := n.m.eng.Now()
+	var lossKind FaultKind
+	lost := false
+	if f != nil {
+		// Decide loss before the full-buffer check: a send to a crashed
+		// (never-polling, eventually full) node must still "succeed" from
+		// the sender's view, or drain-while-sending would spin forever on
+		// a NIC nobody will ever empty.
+		lossKind, lost = f.lossKind(now, pkt.Src, pkt.Dst)
+	}
+	if !lost && dst.nic.full() {
 		n.m.stats.FullRejects++
 		return false
 	}
@@ -128,6 +140,29 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 		panic("cm5: unknown packet kind")
 	}
 	n.m.stats.BytesSent += uint64(len(pkt.Payload))
+	if lost {
+		// The sender pays the injection cost — the packet left the node
+		// and died in the network, indistinguishable from a successful
+		// send until (if ever) a higher layer times out waiting.
+		switch lossKind {
+		case FaultBlackhole:
+			f.stats.Blackholed++
+			crashedAt := pkt.Src
+			if !f.crashed[pkt.Src] {
+				crashedAt = pkt.Dst
+			}
+			f.perNode[crashedAt].Blackholed++
+		case FaultPartitionDrop:
+			f.stats.PartitionDrops++
+			f.perNode[pkt.Src].Dropped++
+		default:
+			f.stats.Dropped++
+			f.perNode[pkt.Src].Dropped++
+		}
+		f.record(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
+		p.Charge(busy)
+		return true
+	}
 	dst.nic.reserve()
 	eng := n.m.eng
 	wire := cost.WireLatency
@@ -138,10 +173,30 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 		// id), but applications relying on it should keep jitter off.
 		wire += sim.Duration(eng.Rand().Int63n(int64(cost.WireJitter)))
 	}
-	// The sender's CPU is busy for the injection; the packet leaves at the
-	// end of that window and lands WireLatency later.
-	p.Charge(busy)
-	eng.After(wire, func() {
+	dup := false
+	var dupWire sim.Duration
+	if f != nil {
+		wire += f.extraLatency(now, pkt.Src, pkt.Dst)
+		if f.duplicate() && !dst.nic.full() {
+			// The network forged a second copy; it takes its own slot and
+			// its own (possibly different) path latency.
+			dup = true
+			dst.nic.reserve()
+			dupWire = cost.WireLatency + f.extraLatency(now, pkt.Src, pkt.Dst)
+			f.stats.Duplicated++
+			f.perNode[pkt.Src].Duplicated++
+			f.record(FaultEvent{T: now, Kind: FaultDuplicate, Src: pkt.Src, Dst: pkt.Dst})
+		}
+	}
+	deliver := func() {
+		if f != nil && f.crashed[pkt.Dst] {
+			// The receiver crashed while the packet was on the wire.
+			dst.nic.abandon()
+			f.stats.LateDrops++
+			f.perNode[pkt.Dst].Blackholed++
+			f.record(FaultEvent{T: eng.Now(), Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
+			return
+		}
 		dst.nic.deliver(pkt)
 		if q := dst.nic.pending(); q > n.m.stats.MaxQueueSeen {
 			n.m.stats.MaxQueueSeen = q
@@ -149,7 +204,14 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 		if dst.wake != nil {
 			dst.wake()
 		}
-	})
+	}
+	// The sender's CPU is busy for the injection; the packet leaves at the
+	// end of that window and lands WireLatency later.
+	p.Charge(busy)
+	eng.After(wire, deliver)
+	if dup {
+		eng.After(dupWire, deliver)
+	}
 	return true
 }
 

@@ -43,6 +43,15 @@ func (n *nic) deliver(p *Packet) {
 	n.count++
 }
 
+// abandon releases a reservation without queueing anything: the in-flight
+// packet was discarded by the fault layer.
+func (n *nic) abandon() {
+	if n.reserved <= 0 {
+		panic("cm5: abandon without reservation")
+	}
+	n.reserved--
+}
+
 // pop removes and returns the packet at the head of the queue, or nil.
 func (n *nic) pop() *Packet {
 	if n.count == 0 {

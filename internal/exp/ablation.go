@@ -22,6 +22,7 @@ type AblationRow struct {
 	Promoted  uint64
 	Adopted   uint64 // lazily promoted in place (continuation only)
 	Nacked    uint64
+	Retries   uint64 // client-side re-sends after a nack
 	CallsMade uint64
 }
 
@@ -101,6 +102,7 @@ func runAblation(strat oam.Strategy) AblationRow {
 		Elapsed:  sim.Duration(elapsed),
 		OAMs:     st.Total, Succ: st.Succeeded,
 		Promoted: st.Promoted, Adopted: adopted, Nacked: st.Nacked,
+		Retries:   inc.Stats().Retries,
 		CallsMade: inc.Stats().Calls,
 	}
 }
@@ -110,7 +112,7 @@ func AblationTable() *Table {
 	t := &Table{
 		Title: "Promotion-strategy ablation (section 2): contended counter, 3 clients x 100 calls",
 		Columns: []string{"Strategy", "Elapsed(ms)", "OAMs", "Successes",
-			"Promoted", "Adopted", "Nacked", "Client calls"},
+			"Promoted", "Adopted", "Nacked", "Retries", "Client calls"},
 		Notes: []string{
 			"rerun re-executes the body; continuation adopts it in place; nack retries from the sender",
 		},
@@ -119,7 +121,7 @@ func AblationTable() *Table {
 		t.Rows = append(t.Rows, []string{
 			r.Strategy, fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6),
 			u64(r.OAMs), u64(r.Succ), u64(r.Promoted), u64(r.Adopted),
-			u64(r.Nacked), u64(r.CallsMade),
+			u64(r.Nacked), u64(r.Retries), u64(r.CallsMade),
 		})
 	}
 	return t

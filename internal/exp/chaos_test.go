@@ -1,0 +1,52 @@
+package exp
+
+import "testing"
+
+// TestChaosQuick: every row of the quick fault-injection sweep matches
+// the sequential reference, the lossy rows actually lose and retransmit
+// packets, and the crash rows re-issue at least one lease.
+func TestChaosQuick(t *testing.T) {
+	rows, err := Chaos(Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(rows))
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s drop=%.0f%% crashes=%d: wrong answer", r.App, r.DropPct, r.Crashes)
+		}
+		if r.GaveUp != 0 {
+			t.Errorf("%s drop=%.0f%% crashes=%d: reliable channel gave up %d times",
+				r.App, r.DropPct, r.Crashes, r.GaveUp)
+		}
+		if r.App != "tsp" {
+			continue
+		}
+		if r.DropPct > 0 && (r.Dropped == 0 || r.Retransmits == 0) {
+			t.Errorf("tsp drop=%.0f%%: no loss/retransmit activity: %+v", r.DropPct, r)
+		}
+		if r.Crashes == 1 && r.Reissued == 0 {
+			t.Errorf("tsp drop=%.0f%% with crash: master never re-issued a lease", r.DropPct)
+		}
+	}
+}
+
+// TestChaosNodeTableQuick: the per-node breakdown names the crashed slave
+// and accounts retransmissions to every live node.
+func TestChaosNodeTableQuick(t *testing.T) {
+	tbl, err := ChaosNodeTable(Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (master + 3 slaves)", len(tbl.Rows))
+	}
+	if got := tbl.Rows[3][1]; got != "slave (crashed)" {
+		t.Errorf("last node role = %q, want crashed slave", got)
+	}
+	if tbl.Rows[0][1] != "master" {
+		t.Errorf("node 0 role = %q", tbl.Rows[0][1])
+	}
+}

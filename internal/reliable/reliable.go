@@ -1,0 +1,341 @@
+// Package reliable provides an end-to-end reliable delivery channel over
+// Active Messages: sequence numbers per directed link, acknowledgments,
+// retransmission timers driven by the simulation clock with capped
+// exponential backoff (the same idiom as the RPC NACK backoff), and
+// duplicate suppression at the receiver.
+//
+// The transport installs itself on a Universe via am.SetTransport, so
+// every Endpoint.Send / TrySend — RPC requests, replies, OAM outbox
+// commits — rides the reliable channel without any change to the layers
+// above. Each outgoing message is framed in an envelope packet whose W0
+// carries the sequence number and W1 the inner handler id; the inner
+// message's W0/W1 move to W2/W3 (messages using W2/W3 themselves do not
+// fit and panic loudly). Receivers ack every data packet (per-seq plus a
+// cumulative floor), deliver first copies up through Endpoint.Deliver,
+// and drop the rest.
+//
+// Retransmission runs in a per-node daemon thread: timers fire in kernel
+// context, which cannot inject packets (injection charges a CPU), so
+// expiry queues the message and wakes the daemon, which resends on the
+// node's own CPU. A sender that exhausts MaxAttempts gives up — without a
+// cap, retransmitting to a crashed node would keep the event heap
+// non-empty and the simulation would never quiesce.
+package reliable
+
+import (
+	"fmt"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// Options tunes the reliable channel.
+type Options struct {
+	RTO         sim.Duration // initial retransmit timeout (default 150 us)
+	RTOMax      sim.Duration // backoff cap (default 2.4 ms)
+	MaxAttempts int          // total transmissions per message before giving up (default 12)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RTO <= 0 {
+		o.RTO = sim.Micros(150)
+	}
+	if o.RTOMax <= 0 {
+		o.RTOMax = sim.Micros(2400)
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 12
+	}
+	return o
+}
+
+// Stats counts transport-wide reliable-channel activity.
+type Stats struct {
+	DataSent       uint64 // first transmissions
+	Retransmits    uint64 // timer-driven resends
+	AcksSent       uint64
+	AcksReceived   uint64
+	StaleAcks      uint64 // acks for already-completed sequence numbers
+	Delivered      uint64 // first copies handed up to the application
+	DupsSuppressed uint64 // extra copies discarded at the receiver
+	GaveUp         uint64 // messages abandoned after MaxAttempts
+}
+
+// NodeStats attributes channel activity to one node: retransmits and
+// give-ups to the sender, suppressed duplicates to the receiver.
+type NodeStats struct {
+	Retransmits    uint64
+	DupsSuppressed uint64
+	GaveUp         uint64
+}
+
+// pendingMsg is one unacknowledged message.
+type pendingMsg struct {
+	dst      int
+	seq      uint64
+	h        am.HandlerID
+	w0, w1   uint64
+	payload  []byte
+	bulk     bool
+	attempts int // transmissions so far
+	backoff  sim.Duration
+	timer    *sim.Timer
+	done     bool
+}
+
+// outLink is the sender half of one directed link.
+type outLink struct {
+	nextSeq uint64
+	pending map[uint64]*pendingMsg
+}
+
+// inLink is the receiver half: a cumulative floor plus the set of
+// out-of-order sequence numbers seen above it.
+type inLink struct {
+	cum  uint64
+	seen map[uint64]struct{}
+}
+
+// nodeState is one node's view of the transport.
+type nodeState struct {
+	id            int
+	ep            *am.Endpoint
+	out           map[int]*outLink
+	in            map[int]*inLink
+	daemon        *threads.Thread
+	daemonBlocked bool
+	due           []*pendingMsg
+}
+
+func (ns *nodeState) outLink(dst int) *outLink {
+	ol := ns.out[dst]
+	if ol == nil {
+		ol = &outLink{pending: make(map[uint64]*pendingMsg)}
+		ns.out[dst] = ol
+	}
+	return ol
+}
+
+func (ns *nodeState) inLink(src int) *inLink {
+	il := ns.in[src]
+	if il == nil {
+		il = &inLink{seen: make(map[uint64]struct{})}
+		ns.in[src] = il
+	}
+	return il
+}
+
+// Transport is the reliable channel, installed on a Universe by Attach.
+type Transport struct {
+	u      *am.Universe
+	eng    *sim.Engine
+	opts   Options
+	dataH  am.HandlerID
+	ackH   am.HandlerID
+	nodes  []*nodeState
+	stats  Stats
+	nstats []NodeStats
+}
+
+// Attach builds a reliable transport for u, registers its handlers,
+// bootstraps one retransmit daemon per node, and installs it as the
+// universe's transport. Like handler registration, call before the
+// simulation starts.
+func Attach(u *am.Universe, opts Options) *Transport {
+	t := &Transport{u: u, eng: u.Machine().Engine(), opts: opts.withDefaults()}
+	t.dataH = u.Register("reliable/data", t.handleData)
+	t.ackH = u.Register("reliable/ack", t.handleAck)
+	t.nodes = make([]*nodeState, u.N())
+	t.nstats = make([]NodeStats, u.N())
+	for i := 0; i < u.N(); i++ {
+		ns := &nodeState{
+			id: i, ep: u.Endpoint(i),
+			out: make(map[int]*outLink), in: make(map[int]*inLink),
+		}
+		t.nodes[i] = ns
+		ns.daemon = u.Scheduler(i).Bootstrap(fmt.Sprintf("reliable/retx/%d", i),
+			func(c threads.Ctx) { t.daemonLoop(c, ns) })
+	}
+	u.SetTransport(t)
+	return t
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() Stats { return t.stats }
+
+// NodeStats returns the counters attributed to node i.
+func (t *Transport) NodeStats(i int) NodeStats { return t.nstats[i] }
+
+func envelopeWords(seq uint64, h am.HandlerID, w [4]uint64) [4]uint64 {
+	if w[2] != 0 || w[3] != 0 {
+		panic("reliable: message uses W2/W3, which the envelope needs for the inner W0/W1")
+	}
+	return [4]uint64{seq, uint64(h), w[0], w[1]}
+}
+
+// Send implements am.Transport: frame, transmit (draining), track, arm.
+func (t *Transport) Send(c threads.Ctx, ep *am.Endpoint, dst int, h am.HandlerID, w [4]uint64, payload []byte, bulk bool) {
+	ew := envelopeWords(0, h, w)
+	ns := t.nodes[ep.Node().ID()]
+	ol := ns.outLink(dst)
+	ol.nextSeq++
+	seq := ol.nextSeq
+	ew[0] = seq
+	pm := &pendingMsg{
+		dst: dst, seq: seq, h: h, w0: w[0], w1: w[1],
+		payload: payload, bulk: bulk, attempts: 1, backoff: t.opts.RTO,
+	}
+	ol.pending[seq] = pm
+	t.stats.DataSent++
+	ep.SendRaw(c, dst, t.dataH, ew, payload, bulk)
+	// The draining send may already have serviced this message's ack.
+	if !pm.done {
+		t.arm(ns, pm, t.opts.RTO)
+	}
+}
+
+// TrySend implements am.Transport: a non-blocking reliable send. Rejection
+// means the first transmission could not be injected; nothing is tracked.
+func (t *Transport) TrySend(c threads.Ctx, ep *am.Endpoint, dst int, h am.HandlerID, w [4]uint64, payload []byte, bulk bool) bool {
+	ew := envelopeWords(0, h, w)
+	ns := t.nodes[ep.Node().ID()]
+	ol := ns.outLink(dst)
+	seq := ol.nextSeq + 1
+	ew[0] = seq
+	// TrySendRaw cannot yield, so a failed probe has no side effects and
+	// the sequence number is only committed on success.
+	if !ep.TrySendRaw(c, dst, t.dataH, ew, payload, bulk) {
+		return false
+	}
+	ol.nextSeq = seq
+	pm := &pendingMsg{
+		dst: dst, seq: seq, h: h, w0: w[0], w1: w[1],
+		payload: payload, bulk: bulk, attempts: 1, backoff: t.opts.RTO,
+	}
+	ol.pending[seq] = pm
+	t.stats.DataSent++
+	t.arm(ns, pm, t.opts.RTO)
+	return true
+}
+
+// arm schedules pm's retransmit timer. Expiry runs in kernel context,
+// which cannot send; it queues the message and wakes the node's daemon.
+func (t *Transport) arm(ns *nodeState, pm *pendingMsg, d sim.Duration) {
+	pm.timer = t.eng.AfterTimer(d, func() {
+		pm.timer = nil
+		if pm.done {
+			return
+		}
+		ns.due = append(ns.due, pm)
+		if ns.daemonBlocked {
+			ns.daemonBlocked = false
+			ns.daemon.Resume(false)
+		}
+	})
+}
+
+// daemonLoop is the per-node retransmit daemon: woken by timer expiry, it
+// resends every due message on the node's CPU, backs off, and re-arms.
+func (t *Transport) daemonLoop(c threads.Ctx, ns *nodeState) {
+	for {
+		for len(ns.due) > 0 {
+			pm := ns.due[0]
+			ns.due = ns.due[1:]
+			if pm.done {
+				continue
+			}
+			ol := ns.outLink(pm.dst)
+			if cur, ok := ol.pending[pm.seq]; !ok || cur != pm {
+				continue
+			}
+			if pm.attempts >= t.opts.MaxAttempts {
+				pm.done = true
+				delete(ol.pending, pm.seq)
+				t.stats.GaveUp++
+				t.nstats[ns.id].GaveUp++
+				continue
+			}
+			pm.attempts++
+			t.stats.Retransmits++
+			t.nstats[ns.id].Retransmits++
+			ns.ep.SendRaw(c, pm.dst, t.dataH,
+				[4]uint64{pm.seq, uint64(pm.h), pm.w0, pm.w1}, pm.payload, pm.bulk)
+			if pm.done {
+				continue // the drain inside SendRaw serviced the ack
+			}
+			pm.backoff *= 2
+			if pm.backoff > t.opts.RTOMax {
+				pm.backoff = t.opts.RTOMax
+			}
+			t.arm(ns, pm, pm.backoff)
+		}
+		ns.daemonBlocked = true
+		c.S.Block(c)
+	}
+}
+
+// handleData is the receiving side: ack (always — the previous ack may
+// have been lost), then deliver first copies and suppress duplicates.
+func (t *Transport) handleData(c threads.Ctx, pkt *cm5.Packet) {
+	ns := t.nodes[pkt.Dst]
+	seq := pkt.W0
+	il := ns.inLink(pkt.Src)
+	_, above := il.seen[seq]
+	dup := seq <= il.cum || above
+	if !dup {
+		il.seen[seq] = struct{}{}
+		for {
+			if _, ok := il.seen[il.cum+1]; !ok {
+				break
+			}
+			delete(il.seen, il.cum+1)
+			il.cum++
+		}
+	}
+	t.stats.AcksSent++
+	ns.ep.SendRaw(c, pkt.Src, t.ackH, [4]uint64{seq, il.cum, 0, 0}, nil, false)
+	if dup {
+		t.stats.DupsSuppressed++
+		t.nstats[pkt.Dst].DupsSuppressed++
+		return
+	}
+	t.stats.Delivered++
+	ns.ep.Deliver(c, &cm5.Packet{
+		Src: pkt.Src, Dst: pkt.Dst, Kind: pkt.Kind,
+		Handler: int(pkt.W1), W0: pkt.W2, W1: pkt.W3, Payload: pkt.Payload,
+	})
+}
+
+// handleAck retires pending messages: the per-seq ack plus everything at
+// or below the cumulative floor.
+func (t *Transport) handleAck(c threads.Ctx, pkt *cm5.Packet) {
+	ns := t.nodes[pkt.Dst]
+	ol := ns.outLink(pkt.Src)
+	seq, cum := pkt.W0, pkt.W1
+	t.stats.AcksReceived++
+	retired := false
+	retire := func(pm *pendingMsg, q uint64) {
+		pm.done = true
+		if pm.timer != nil {
+			pm.timer.Cancel()
+			pm.timer = nil
+		}
+		delete(ol.pending, q)
+		retired = true
+	}
+	if pm, ok := ol.pending[seq]; ok {
+		retire(pm, seq)
+	}
+	// Map iteration order is irrelevant here: retiring only cancels timers
+	// and deletes entries, so determinism is preserved.
+	for q, pm := range ol.pending {
+		if q <= cum {
+			retire(pm, q)
+		}
+	}
+	if !retired {
+		t.stats.StaleAcks++
+	}
+}

@@ -1,0 +1,203 @@
+package reliable
+
+import (
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// TestLossyDelivery pushes a burst of messages through a 20%-lossy link
+// and checks exactly-once delivery with retransmissions doing the work.
+func TestLossyDelivery(t *testing.T) {
+	const msgs = 200
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{Seed: 7, DropProb: 0.20})
+	tr := Attach(u, Options{})
+	got := make(map[uint64]int)
+	recvd := 0
+	h := u.Register("count", func(c threads.Ctx, pkt *cm5.Packet) {
+		got[pkt.W0]++
+		recvd++
+	})
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 1 {
+			for recvd < msgs {
+				ep.Poll(c)
+				c.P.Charge(sim.Micros(2))
+				c.S.Yield(c)
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			ep.Send(c, 1, h, [4]uint64{uint64(i), 0, 0, 0}, nil)
+			c.P.Charge(sim.Micros(1))
+		}
+		for recvd < msgs { // wait out the retransmissions (shared-memory test shortcut)
+			ep.Poll(c)
+			c.P.Charge(sim.Micros(5))
+			c.S.Yield(c)
+		}
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	if recvd != msgs {
+		t.Fatalf("delivered %d of %d", recvd, msgs)
+	}
+	for i := uint64(0); i < msgs; i++ {
+		if got[i] != 1 {
+			t.Fatalf("message %d delivered %d times", i, got[i])
+		}
+	}
+	st := tr.Stats()
+	if st.Retransmits == 0 {
+		t.Fatalf("expected retransmissions under 20%% loss, got none (stats %+v)", st)
+	}
+	if st.GaveUp != 0 {
+		t.Fatalf("gave up on %d messages on a live link", st.GaveUp)
+	}
+	fs := u.Machine().FaultStats()
+	if fs.Dropped == 0 {
+		t.Fatalf("fault layer dropped nothing at 20%% loss")
+	}
+	t.Logf("sent=%d retx=%d dropped=%d dupsSuppressed=%d", st.DataSent, st.Retransmits, fs.Dropped, st.DupsSuppressed)
+}
+
+// TestDuplicateSuppression forces network-level duplication and checks the
+// receiver delivers each message once.
+func TestDuplicateSuppression(t *testing.T) {
+	const msgs = 100
+	eng := sim.New(2)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{Seed: 3, DupProb: 0.5})
+	tr := Attach(u, Options{})
+	recvd := 0
+	h := u.Register("count", func(c threads.Ctx, pkt *cm5.Packet) { recvd++ })
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 1 {
+			for recvd < msgs {
+				ep.Poll(c)
+				c.P.Charge(sim.Micros(2))
+				c.S.Yield(c)
+			}
+			return
+		}
+		for i := 0; i < msgs; i++ {
+			ep.Send(c, 1, h, [4]uint64{uint64(i), 0, 0, 0}, nil)
+			c.P.Charge(sim.Micros(3))
+		}
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	if recvd != msgs {
+		t.Fatalf("delivered %d of %d", recvd, msgs)
+	}
+	st := tr.Stats()
+	if st.DupsSuppressed == 0 {
+		t.Fatalf("expected suppressed duplicates at 50%% dup, got none")
+	}
+	if fs := u.Machine().FaultStats(); fs.Duplicated == 0 {
+		t.Fatalf("fault layer duplicated nothing")
+	}
+}
+
+// TestGiveUpOnCrashedReceiver checks that retransmission to a dead node is
+// bounded: the sender abandons the message and the simulation terminates.
+func TestGiveUpOnCrashedReceiver(t *testing.T) {
+	eng := sim.New(3)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{Seed: 1, Crashes: []cm5.Crash{{Node: 1, At: sim.Time(50 * sim.Microsecond)}}})
+	tr := Attach(u, Options{RTO: sim.Micros(100), MaxAttempts: 5})
+	h := u.Register("nop", func(c threads.Ctx, pkt *cm5.Packet) {})
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 1 {
+			// Crashed at t=50us; stop participating once the plan says so.
+			for !ep.Node().Crashed() {
+				ep.Poll(c)
+				c.P.Charge(sim.Micros(5))
+				c.S.Yield(c)
+			}
+			return
+		}
+		c.P.Charge(sim.Micros(100)) // past the crash
+		ep.Send(c, 1, h, [4]uint64{42, 0, 0, 0}, nil)
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	st := tr.Stats()
+	if st.GaveUp != 1 {
+		t.Fatalf("GaveUp = %d, want 1 (stats %+v)", st.GaveUp, st)
+	}
+	if st.Retransmits != 4 {
+		t.Fatalf("Retransmits = %d, want 4 (MaxAttempts=5 including the first send)", st.Retransmits)
+	}
+	if ns := tr.NodeStats(0); ns.GaveUp != 1 || ns.Retransmits != 4 {
+		t.Fatalf("node 0 stats = %+v", ns)
+	}
+	if fs := u.Machine().FaultStats(); fs.Blackholed == 0 {
+		t.Fatalf("expected blackholed packets toward the crashed node")
+	}
+}
+
+// TestEnvelopeW2W3Panic documents the framing limit: messages already
+// using W2/W3 cannot ride the reliable channel.
+func TestEnvelopeW2W3Panic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic for W2/W3 user")
+		}
+	}()
+	envelopeWords(1, 0, [4]uint64{0, 0, 7, 0})
+}
+
+// TestDeterminism runs the lossy burst twice and compares trace hashes,
+// fault hashes, and final times.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, sim.Time) {
+		eng := sim.New(11)
+		defer eng.Shutdown()
+		ht := sim.NewHashTracer()
+		eng.SetTracer(ht)
+		u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+		u.Machine().SetFaultPlan(&cm5.FaultPlan{Seed: 5, DropProb: 0.1, DupProb: 0.05, ExtraJitter: sim.Micros(4)})
+		Attach(u, Options{})
+		recvd := 0
+		h := u.Register("count", func(c threads.Ctx, pkt *cm5.Packet) { recvd++ })
+		elapsed, err := u.SPMD(func(c threads.Ctx, node int) {
+			ep := u.Endpoint(node)
+			if node == 1 {
+				for recvd < 50 {
+					ep.Poll(c)
+					c.P.Charge(sim.Micros(2))
+					c.S.Yield(c)
+				}
+				return
+			}
+			for i := 0; i < 50; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i), 0, 0, 0}, nil)
+				c.P.Charge(sim.Micros(2))
+			}
+		})
+		if err != nil {
+			t.Fatalf("SPMD: %v", err)
+		}
+		return ht.Sum(), u.Machine().FaultTraceHash(), elapsed
+	}
+	h1, f1, t1 := run()
+	h2, f2, t2 := run()
+	if h1 != h2 || f1 != f2 || t1 != t2 {
+		t.Fatalf("nondeterministic: trace %x/%x fault %x/%x time %v/%v", h1, h2, f1, f2, t1, t2)
+	}
+}

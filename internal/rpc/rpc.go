@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/am"
@@ -9,6 +10,10 @@ import (
 	"repro/internal/sim"
 	"repro/internal/threads"
 )
+
+// ErrDeadline is returned by CallWithDeadline when no reply arrived in
+// time — the server may be slow, partitioned, or crashed.
+var ErrDeadline = errors.New("rpc: call deadline exceeded")
 
 // Mode selects the dispatch discipline of a Runtime.
 type Mode uint8
@@ -57,6 +62,7 @@ type Runtime struct {
 	nackH  am.HandlerID
 	nodes  []*nodeState
 	procs  []*Proc
+	stale  uint64 // replies/nacks for calls no longer in the table
 }
 
 // nodeState is the client-side call table of one node.
@@ -67,9 +73,10 @@ type nodeState struct {
 
 // call is one outstanding synchronous call.
 type call struct {
-	flag   threads.Flag
-	reply  []byte
-	nacked bool
+	flag     threads.Flag
+	reply    []byte
+	nacked   bool
+	timedOut bool
 }
 
 // New builds an RPC runtime over u. Define all procedures before the
@@ -112,8 +119,11 @@ func (rt *Runtime) AsyncDispatcher() *oam.Dispatcher { return rt.dAsync }
 func (rt *Runtime) handleReply(c threads.Ctx, pkt *cm5.Packet) {
 	ns := rt.nodes[pkt.Dst]
 	cl, ok := ns.calls[pkt.W0]
-	if !ok {
-		panic(fmt.Sprintf("rpc: reply for unknown call %d on node %d", pkt.W0, pkt.Dst))
+	if !ok || cl.flag.IsSet() {
+		// The caller gave up (deadline) or already completed: on a faulty
+		// network late replies are normal, not a protocol violation.
+		rt.stale++
+		return
 	}
 	cl.reply = pkt.Payload
 	cl.flag.Set()
@@ -122,12 +132,18 @@ func (rt *Runtime) handleReply(c threads.Ctx, pkt *cm5.Packet) {
 func (rt *Runtime) handleNack(c threads.Ctx, pkt *cm5.Packet) {
 	ns := rt.nodes[pkt.Dst]
 	cl, ok := ns.calls[pkt.W0]
-	if !ok {
-		panic(fmt.Sprintf("rpc: nack for unknown call %d on node %d", pkt.W0, pkt.Dst))
+	if !ok || cl.flag.IsSet() {
+		rt.stale++
+		return
 	}
 	cl.nacked = true
 	cl.flag.Set()
 }
+
+// StaleReplies counts replies and nacks that arrived for calls no longer
+// waiting — abandoned by a deadline, or already resolved. Always zero on
+// a fault-free network.
+func (rt *Runtime) StaleReplies() uint64 { return rt.stale }
 
 // ProcStats are the per-procedure counters the termination routine of the
 // paper's generated stubs prints; Tables 2 and 3 are built from them.
@@ -138,6 +154,8 @@ type ProcStats struct {
 	Promoted  uint64 // attempts promoted to a thread
 	Nacks     uint64 // attempts refused with a negative acknowledgment
 	Threads   uint64 // TRPC-mode thread creations
+	Retries   uint64 // client-side re-sends after a nack
+	Timeouts  uint64 // CallWithDeadline expirations
 }
 
 // SuccessPercent is the "% Successes" column of Tables 2 and 3.
@@ -271,12 +289,100 @@ func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
 			return cl.reply
 		}
 		// Nacked: back off (bounded exponential) and retry.
+		p.stats.Retries++
 		c.P.Charge(backoff)
-		backoff *= 2
-		if backoff > rt.opts.NackBackoffMax {
-			backoff = rt.opts.NackBackoffMax
+		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
+	}
+}
+
+// nextBackoff doubles a backoff up to its cap.
+func nextBackoff(cur, max sim.Duration) sim.Duration {
+	cur *= 2
+	if cur > max {
+		return max
+	}
+	return cur
+}
+
+// CallWithDeadline performs a synchronous call that gives up if no reply
+// (or nack) arrives within timeout of virtual time, returning ErrDeadline
+// instead of hanging forever. On a lossy or crashy network this is the
+// primitive everything else builds on: a reply lost in transit, a crashed
+// server, or a partition all surface as a deadline error the caller can
+// act on. Nack backoff-and-retry still happens transparently inside the
+// window.
+//
+// The deadline is best effort in one direction only: a timed-out call may
+// still have executed on the server (the reply, not the request, may be
+// what was lost). Use CallIdempotent when re-execution is safe.
+func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout sim.Duration) ([]byte, error) {
+	if p.async {
+		panic(fmt.Sprintf("rpc: synchronous Call of asynchronous procedure %q", p.name))
+	}
+	if c.T == nil {
+		panic(fmt.Sprintf("rpc: synchronous Call of %q from handler context", p.name))
+	}
+	if timeout <= 0 {
+		panic(fmt.Sprintf("rpc: non-positive deadline for %q", p.name))
+	}
+	rt := p.rt
+	cost := rt.u.Machine().Cost()
+	eng := rt.u.Machine().Engine()
+	me := c.Node().ID()
+	ns := rt.nodes[me]
+	deadline := eng.Now().Add(timeout)
+	backoff := rt.opts.NackBackoffBase
+	for {
+		p.stats.Calls++
+		c.P.Charge(cost.StubClient)
+		ns.nextID++
+		id := ns.nextID
+		cl := &call{}
+		ns.calls[id] = cl
+		timer := eng.AtTimer(deadline, func() {
+			if !cl.flag.IsSet() {
+				cl.timedOut = true
+				cl.flag.Set()
+			}
+		})
+		p.sendRequest(c, server, id, arg)
+		cl.flag.Wait(c)
+		timer.Cancel()
+		delete(ns.calls, id)
+		if cl.timedOut {
+			p.stats.Timeouts++
+			return nil, ErrDeadline
+		}
+		if !cl.nacked {
+			return cl.reply, nil
+		}
+		p.stats.Retries++
+		c.P.Charge(backoff)
+		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
+		if eng.Now() >= deadline {
+			p.stats.Timeouts++
+			return nil, ErrDeadline
 		}
 	}
+}
+
+// CallIdempotent retries a deadline call up to attempts times, each with
+// its own per-attempt timeout. It is only safe for procedures whose
+// re-execution is harmless (reads, leases, at-least-once job hand-outs):
+// an attempt whose reply was lost has still run on the server.
+func (p *Proc) CallIdempotent(c threads.Ctx, server int, arg []byte, per sim.Duration, attempts int) ([]byte, error) {
+	if attempts < 1 {
+		panic(fmt.Sprintf("rpc: CallIdempotent of %q with %d attempts", p.name, attempts))
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		var res []byte
+		res, err = p.CallWithDeadline(c, server, arg, per)
+		if err == nil {
+			return res, nil
+		}
+	}
+	return nil, err
 }
 
 // CallAsync fires an asynchronous call and returns as soon as the request
