@@ -1,15 +1,21 @@
 // Command oamlab regenerates every table and figure of the paper's
 // evaluation (section 4) on the simulated machine:
 //
-//	oamlab [-quick] [-maxp N] [-csv] <experiment>...
+//	oamlab [-quick] [-maxp N] [-csv] [-par N] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
 // table3, ablation, schedpolicy, budget, buffering, chaos,
-// micro (table1+bulk+abortcost), all (everything).
+// micro (table1+bulk+abortcost), bench (host-performance report),
+// all (everything).
 //
 // -quick shrinks the problem sizes so the suite runs in seconds; the
 // default runs the paper's sizes (the Triangle figure alone simulates
 // over a million RPCs per configuration and takes minutes).
+//
+// -par sets how many experiment cells run concurrently (default: all
+// CPUs). Each cell owns a private simulation engine and results merge in
+// a fixed order, so the output is byte-identical at any setting; only
+// wall-clock time changes.
 package main
 
 import (
@@ -33,10 +39,15 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	maxp := fs.Int("maxp", 0, "cap the largest machine size (0 = experiment default)")
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	svgdir := fs.String("svgdir", "", "also render figures as SVG into this directory")
+	par := fs.Int("par", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
+	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
+	if *par > 0 {
+		exp.Workers = *par
+	}
 	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
 	names := fs.Args()
 	if len(names) == 0 {
@@ -119,6 +130,21 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			emit(exp.InterruptsTable(), nil)
 		case "sorsizes":
 			emit(exp.SORSizesTable(scale.Quick))
+		case "bench":
+			res, err := exp.Bench(scale)
+			if err != nil {
+				emit(nil, err)
+				return
+			}
+			emit(res.Table(), nil)
+			if code == 0 && *benchout != "" {
+				if err := res.WriteJSON(*benchout); err != nil {
+					fmt.Fprintf(stderr, "oamlab: bench: %v\n", err)
+					code = 1
+					return
+				}
+				fmt.Fprintf(stderr, "[bench report written to %s]\n", *benchout)
+			}
 		case "chaos":
 			emit(exp.ChaosTable(scale))
 			emit(exp.ChaosNodeTable(scale))

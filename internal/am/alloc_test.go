@@ -1,0 +1,92 @@
+package am_test
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// storm streams `packets` small Active Messages from node 0 to a polling
+// node 1 after a `warmup` phase that fills the event and packet pools,
+// and returns the heap allocations per packet over the measured window.
+// The window covers the whole hot path: packet alloc, injection, the
+// wire-flight event, NIC delivery, poll, and handler dispatch.
+func storm(t testing.TB, warmup, packets int) float64 {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	received := 0
+	h := u.Register("sink", func(c threads.Ctx, pkt *cm5.Packet) { received++ })
+	total := warmup + packets
+	var m0, m1 runtime.MemStats
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 0 {
+			for i := 0; i < warmup; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i)}, nil)
+			}
+			runtime.ReadMemStats(&m0)
+			for i := 0; i < packets; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i)}, nil)
+			}
+			runtime.ReadMemStats(&m1)
+			return
+		}
+		for received < total {
+			c.P.Charge(sim.Micros(2))
+			ep.PollAll(c)
+		}
+	})
+	if err != nil {
+		t.Fatalf("storm deadlocked: %v", err)
+	}
+	if received != total {
+		t.Fatalf("lost packets: got %d of %d", received, total)
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(packets)
+}
+
+// TestSmallPacketZeroAllocs is the allocation budget of the kernel hot
+// path: once the pools are warm, a small-packet send/deliver/poll/dispatch
+// cycle must not allocate. The budget tolerates stray runtime allocations
+// (goroutine bookkeeping, MemStats internals) amortized over the window,
+// but a per-packet allocation anywhere in the path would read as >= 1.
+func TestSmallPacketZeroAllocs(t *testing.T) {
+	perPacket := storm(t, 2_000, 10_000)
+	if perPacket >= 0.01 {
+		t.Fatalf("small-packet hot path allocates %.4f objects/packet, want 0", perPacket)
+	}
+}
+
+// BenchmarkSmallPacketHotPath reports ns and allocs per small packet
+// through the full send/deliver/poll/dispatch cycle.
+func BenchmarkSmallPacketHotPath(b *testing.B) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	received := 0
+	h := u.Register("sink", func(c threads.Ctx, pkt *cm5.Packet) { received++ })
+	b.ReportAllocs()
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 0 {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i)}, nil)
+			}
+			b.StopTimer()
+			return
+		}
+		for received < b.N {
+			c.P.Charge(sim.Micros(2))
+			ep.PollAll(c)
+		}
+	})
+	if err != nil {
+		b.Fatalf("storm deadlocked: %v", err)
+	}
+}

@@ -112,15 +112,22 @@ type Endpoint struct {
 // Node returns the endpoint's node.
 func (ep *Endpoint) Node() *cm5.Node { return ep.node }
 
-// packet assembles an outgoing packet.
+// packet assembles an outgoing packet from the machine's pool. Ownership
+// passes to the network on successful injection; the receiving endpoint
+// recycles the struct after the handler runs (see Packet's ownership
+// rules — the payload buffer itself is handed off, never reused).
 func (ep *Endpoint) packet(dst int, h HandlerID, kind cm5.PacketKind, w [4]uint64, payload []byte) *cm5.Packet {
 	if int(h) < 0 || int(h) >= len(ep.u.handlers) {
 		panic(fmt.Sprintf("am: send to unregistered handler %d", h))
 	}
-	return &cm5.Packet{
-		Src: ep.node.ID(), Dst: dst, Kind: kind, Handler: int(h),
-		W0: w[0], W1: w[1], W2: w[2], W3: w[3], Payload: payload,
-	}
+	pkt := ep.u.m.AllocPacket()
+	pkt.Src = ep.node.ID()
+	pkt.Dst = dst
+	pkt.Kind = kind
+	pkt.Handler = int(h)
+	pkt.W0, pkt.W1, pkt.W2, pkt.W3 = w[0], w[1], w[2], w[3]
+	pkt.Payload = payload
+	return pkt
 }
 
 // TrySend attempts a non-blocking send of a small Active Message and
@@ -187,7 +194,8 @@ func (ep *Endpoint) TrySendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64,
 	if bulk {
 		kind = cm5.Bulk
 	}
-	if ep.node.TryInject(c.P, ep.packet(dst, h, kind, w, payload)) {
+	pkt := ep.packet(dst, h, kind, w, payload)
+	if ep.node.TryInject(c.P, pkt) {
 		if bulk {
 			ep.u.stats.BulkSends++
 		} else {
@@ -195,6 +203,7 @@ func (ep *Endpoint) TrySendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64,
 		}
 		return true
 	}
+	ep.u.m.ReleasePacket(pkt) // never entered the network
 	return false
 }
 
@@ -234,6 +243,10 @@ func (ep *Endpoint) pollOnce(c threads.Ctx) bool {
 		return false
 	}
 	ep.dispatch(c, pkt)
+	// The wire-path packet is done once its handler returns: recycle the
+	// struct (the payload buffer is handed off, not reused). Packets a
+	// transport hands up via Deliver are the transport's to manage.
+	ep.u.m.ReleasePacket(pkt)
 	return true
 }
 

@@ -17,6 +17,11 @@ type Machine struct {
 	ctl   *controlNetwork
 	stats NetStats
 	fault *faultState // nil = perfect network (the default)
+
+	// Hot-path free lists (the machine is as single-threaded as its
+	// engine, so neither needs locking).
+	freePkt   *Packet   // recycled packet structs
+	freeDeliv *delivery // recycled delivery events
 }
 
 // NetStats aggregates data-network traffic counters.
@@ -56,6 +61,92 @@ func (m *Machine) Node(i int) *Node { return m.nodes[i] }
 
 // Stats returns a copy of the machine's traffic counters.
 func (m *Machine) Stats() NetStats { return m.stats }
+
+// AllocPacket takes a packet from the machine's pool (or the heap when the
+// pool is dry). The packet is returned to the pool by ReleasePacket after
+// its handler runs; see the ownership rules on Packet.
+func (m *Machine) AllocPacket() *Packet {
+	p := m.freePkt
+	if p == nil {
+		p = new(Packet)
+	} else {
+		m.freePkt = p.poolNext
+		p.poolNext = nil
+	}
+	p.pooled = true
+	p.refs = 1
+	return p
+}
+
+// ReleasePacket returns a pooled packet to the machine once its last
+// delivery has been handled. Hand-built packets (pooled == false) and
+// duplicated packets with deliveries still outstanding are left alone.
+// The payload buffer is dropped, never reused: receivers may retain it.
+func (m *Machine) ReleasePacket(p *Packet) {
+	if p == nil || !p.pooled {
+		return
+	}
+	if p.refs > 1 {
+		p.refs--
+		return
+	}
+	*p = Packet{poolNext: m.freePkt}
+	m.freePkt = p
+}
+
+// delivery is a pooled, closure-free packet-delivery event: the typed
+// {packet} record that replaces the per-packet func() previously captured
+// at injection time.
+type delivery struct {
+	m    *Machine
+	pkt  *Packet
+	next *delivery
+}
+
+// Run implements sim.Action: recycle the delivery record, then complete
+// the transfer into the destination NIC.
+func (d *delivery) Run() {
+	m, pkt := d.m, d.pkt
+	d.pkt = nil
+	d.next = m.freeDeliv
+	m.freeDeliv = d
+	m.completeDelivery(pkt)
+}
+
+// newDelivery takes a delivery record from the pool.
+func (m *Machine) newDelivery(pkt *Packet) *delivery {
+	d := m.freeDeliv
+	if d == nil {
+		d = &delivery{m: m}
+	} else {
+		m.freeDeliv = d.next
+		d.next = nil
+	}
+	d.pkt = pkt
+	return d
+}
+
+// completeDelivery lands a packet that finished its wire flight: either
+// into the destination's input queue (waking the node) or, if the receiver
+// crashed while the packet was in flight, into the fault accounting.
+func (m *Machine) completeDelivery(pkt *Packet) {
+	dst := m.nodes[pkt.Dst]
+	if f := m.fault; f != nil && f.crashed[pkt.Dst] {
+		dst.nic.abandon()
+		f.stats.LateDrops++
+		f.perNode[pkt.Dst].Blackholed++
+		f.record(FaultEvent{T: m.eng.Now(), Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
+		m.ReleasePacket(pkt)
+		return
+	}
+	dst.nic.deliver(pkt)
+	if q := dst.nic.pending(); q > m.stats.MaxQueueSeen {
+		m.stats.MaxQueueSeen = q
+	}
+	if dst.wake != nil {
+		dst.wake()
+	}
+}
 
 // Node is one processor of the machine. The node itself is passive: the
 // thread package supplies its CPU (a simulation process), and the am
@@ -160,6 +251,7 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			f.perNode[pkt.Src].Dropped++
 		}
 		f.record(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
+		n.m.ReleasePacket(pkt) // died in the network: nobody will deliver it
 		p.Charge(busy)
 		return true
 	}
@@ -181,6 +273,9 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			// The network forged a second copy; it takes its own slot and
 			// its own (possibly different) path latency.
 			dup = true
+			if pkt.pooled {
+				pkt.refs++ // the receiver must handle both copies before recycling
+			}
 			dst.nic.reserve()
 			dupWire = cost.WireLatency + f.extraLatency(now, pkt.Src, pkt.Dst)
 			f.stats.Duplicated++
@@ -188,29 +283,13 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			f.record(FaultEvent{T: now, Kind: FaultDuplicate, Src: pkt.Src, Dst: pkt.Dst})
 		}
 	}
-	deliver := func() {
-		if f != nil && f.crashed[pkt.Dst] {
-			// The receiver crashed while the packet was on the wire.
-			dst.nic.abandon()
-			f.stats.LateDrops++
-			f.perNode[pkt.Dst].Blackholed++
-			f.record(FaultEvent{T: eng.Now(), Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
-			return
-		}
-		dst.nic.deliver(pkt)
-		if q := dst.nic.pending(); q > n.m.stats.MaxQueueSeen {
-			n.m.stats.MaxQueueSeen = q
-		}
-		if dst.wake != nil {
-			dst.wake()
-		}
-	}
 	// The sender's CPU is busy for the injection; the packet leaves at the
-	// end of that window and lands WireLatency later.
+	// end of that window and lands WireLatency later. The flight is a
+	// pooled typed event, not a closure: nothing on this path allocates.
 	p.Charge(busy)
-	eng.After(wire, deliver)
+	eng.AfterAction(wire, n.m.newDelivery(pkt))
 	if dup {
-		eng.After(dupWire, deliver)
+		eng.AfterAction(dupWire, n.m.newDelivery(pkt))
 	}
 	return true
 }

@@ -29,6 +29,14 @@ func (k PacketKind) String() string {
 // receiver-side dispatch routine; the machine model itself never interprets
 // it. W0..W3 are the four header words of a CM-5 Active Message; Payload
 // carries marshaled arguments (small) or the block-transfer body (bulk).
+//
+// Packets travelling the hot path come from the owning Machine's pool
+// (AllocPacket) and return to it after their handler runs (ReleasePacket).
+// Only the struct is recycled: Payload ownership transfers to the receiver
+// at send time, and the buffer is never reused by the pool, so handlers
+// may retain pkt.Payload — but never the *Packet itself — past return.
+// Packets built by hand (tests, transports) have pooled == false and are
+// ignored by ReleasePacket.
 type Packet struct {
 	Src, Dst int
 	Kind     PacketKind
@@ -36,6 +44,10 @@ type Packet struct {
 	W0, W1   uint64
 	W2, W3   uint64
 	Payload  []byte
+
+	poolNext *Packet // machine free-list link
+	refs     int32   // outstanding deliveries (2 when the network duplicates)
+	pooled   bool    // came from Machine.AllocPacket
 }
 
 // Size returns the payload length in bytes.

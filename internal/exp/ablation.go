@@ -33,10 +33,12 @@ type AblationRow struct {
 // implements rerun only; this experiment is the design-space exploration
 // the mechanism enables.
 func Ablation() []AblationRow {
-	var rows []AblationRow
-	for _, strat := range []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack} {
-		rows = append(rows, runAblation(strat))
-	}
+	strats := []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack}
+	rows := make([]AblationRow, len(strats))
+	forEach(len(strats), func(i int) error {
+		rows[i] = runAblation(strats[i])
+		return nil
+	})
 	return rows
 }
 
@@ -186,10 +188,15 @@ func SchedPolicy() []SchedPolicyRow {
 		}
 		return sim.Duration(elapsed)
 	}
-	return []SchedPolicyRow{
-		{Policy: "front-of-queue", Elapsed: run(false)},
-		{Policy: "back-of-queue", Elapsed: run(true)},
+	rows := []SchedPolicyRow{
+		{Policy: "front-of-queue"},
+		{Policy: "back-of-queue"},
 	}
+	forEach(len(rows), func(i int) error {
+		rows[i].Elapsed = run(i == 1)
+		return nil
+	})
+	return rows
 }
 
 // SchedPolicyTable formats the scheduling-policy comparison.
@@ -223,18 +230,23 @@ func AppAblation(quick bool) ([]AppAblationRow, error) {
 		cfg.Cities = 10
 		slaves = 12
 	}
-	var rows []AppAblationRow
-	for _, strat := range []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack} {
+	strats := []oam.Strategy{oam.Rerun, oam.Continuation, oam.Nack}
+	rows := make([]AppAblationRow, len(strats))
+	err := forEach(len(strats), func(i int) error {
 		c := cfg
-		c.Strategy = strat
+		c.Strategy = strats[i]
 		res, err := tsp.Run(apps.ORPC, slaves, c)
 		if err != nil {
-			return nil, fmt.Errorf("app ablation %v: %w", strat, err)
+			return fmt.Errorf("app ablation %v: %w", strats[i], err)
 		}
-		rows = append(rows, AppAblationRow{
-			App: "tsp", Strategy: strat.String(),
+		rows[i] = AppAblationRow{
+			App: "tsp", Strategy: strats[i].String(),
 			Elapsed: res.Elapsed, SuccPct: res.SuccessPercent(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,0 +1,206 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/am"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+	"repro/internal/threads"
+)
+
+// KernelBench reports the host-side cost of the simulation kernel,
+// measured by a two-node small-packet storm: one node streams small
+// Active Messages, the other polls them in. Allocation counts are taken
+// over a steady-state window (after the pools are warm), so they reflect
+// the per-packet cost, not one-time slab fills.
+type KernelBench struct {
+	Packets         uint64  `json:"packets"`
+	Events          uint64  `json:"events"`
+	WallNs          int64   `json:"wall_ns"`
+	NsPerEvent      float64 `json:"ns_per_event"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	AllocsPerPacket float64 `json:"allocs_per_packet"`
+	AllocsPerEvent  float64 `json:"allocs_per_event"`
+}
+
+// ExpBench is one experiment's wall-clock timing under the sequential
+// (Workers=1) and parallel (Workers=GOMAXPROCS) harness.
+type ExpBench struct {
+	Name  string  `json:"name"`
+	SeqMs float64 `json:"seq_ms"`
+	ParMs float64 `json:"par_ms"`
+}
+
+// BenchResult is the full host-performance report written to
+// BENCH_kernel.json by `oamlab bench`.
+type BenchResult struct {
+	GoVersion   string      `json:"go_version"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Quick       bool        `json:"quick"`
+	Kernel      KernelBench `json:"kernel"`
+	Experiments []ExpBench  `json:"experiments"`
+	SeqMsTotal  float64     `json:"seq_ms_total"`
+	ParMsTotal  float64     `json:"par_ms_total"`
+	Speedup     float64     `json:"speedup"`
+}
+
+// KernelStorm runs the kernel microbenchmark: warmup packets to fill the
+// event/packet pools, then packets more through the NIC with allocation
+// accounting on. It is also used by the allocation-budget tests.
+func KernelStorm(warmup, packets int) KernelBench {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	received := 0
+	h := u.Register("sink", func(c threads.Ctx, pkt *cm5.Packet) { received++ })
+	var m0, m1 runtime.MemStats
+	total := warmup + packets
+	start := time.Now()
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		if node == 0 {
+			for i := 0; i < warmup; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i)}, nil)
+			}
+			// Steady state: pools are warm, every send/deliver/poll from
+			// here on should recycle rather than allocate.
+			runtime.ReadMemStats(&m0)
+			for i := 0; i < packets; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i)}, nil)
+			}
+			runtime.ReadMemStats(&m1)
+			return
+		}
+		for received < total {
+			c.P.Charge(sim.Micros(2))
+			ep.PollAll(c)
+		}
+	})
+	wall := time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("exp: kernel storm deadlocked: %v", err))
+	}
+	if received != total {
+		panic(fmt.Sprintf("exp: kernel storm lost packets: %d of %d", received, total))
+	}
+	events := eng.Events()
+	allocs := float64(m1.Mallocs - m0.Mallocs)
+	kb := KernelBench{
+		Packets:         uint64(packets),
+		Events:          events,
+		WallNs:          wall.Nanoseconds(),
+		AllocsPerPacket: allocs / float64(packets),
+	}
+	if events > 0 {
+		kb.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+		kb.EventsPerSec = float64(events) / wall.Seconds()
+		// The measured window covers ~packets/total of the run; scale the
+		// event count rather than pretending the window saw them all.
+		winEvents := float64(events) * float64(packets) / float64(total)
+		kb.AllocsPerEvent = allocs / winEvents
+	}
+	return kb
+}
+
+// benchSuite lists the experiments timed by Bench, in `oamlab all` order.
+var benchSuite = []struct {
+	name string
+	run  func(Scale) error
+}{
+	{"table1", func(Scale) error { Table1Table(); return nil }},
+	{"bulk", func(Scale) error { BulkTable(); return nil }},
+	{"abortcost", func(Scale) error { AbortCostTable(); return nil }},
+	{"fig1", func(s Scale) error { _, _, err := Fig1Triangle(s); return err }},
+	{"fig2", func(s Scale) error { _, _, err := Fig2TSP(s); return err }},
+	{"fig3", func(s Scale) error { _, _, err := Fig3SOR(s); return err }},
+	{"fig4", func(s Scale) error { _, _, err := Fig4Water(s); return err }},
+	{"table3", func(s Scale) error { _, err := Table3(s); return err }},
+	{"ablation", func(Scale) error { AblationTable(); return nil }},
+	{"appablation", func(s Scale) error { _, err := AppAblationTable(s.Quick); return err }},
+	{"schedpolicy", func(Scale) error { SchedPolicyTable(); return nil }},
+	{"budget", func(Scale) error { BudgetTable(); return nil }},
+	{"buffering", func(Scale) error { BufferingTable(); return nil }},
+	{"interrupts", func(Scale) error { InterruptsTable(); return nil }},
+	{"sorsizes", func(s Scale) error { _, err := SORSizesTable(s.Quick); return err }},
+	{"chaos", func(s Scale) error { _, err := ChaosTable(s); return err }},
+}
+
+// Bench measures kernel throughput and the wall-clock of every experiment
+// under the sequential and parallel harness. It mutates (and restores)
+// Workers, so it must not run concurrently with other experiments.
+func Bench(scale Scale) (*BenchResult, error) {
+	warmup, packets := 50_000, 200_000
+	if scale.Quick {
+		warmup, packets = 5_000, 20_000
+	}
+	res := &BenchResult{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      scale.Quick,
+		Kernel:     KernelStorm(warmup, packets),
+	}
+	saved := Workers
+	defer func() { Workers = saved }()
+	res.Experiments = make([]ExpBench, len(benchSuite))
+	for pass, w := range []int{1, res.GOMAXPROCS} {
+		Workers = w
+		for i, e := range benchSuite {
+			start := time.Now()
+			if err := e.run(scale); err != nil {
+				return nil, fmt.Errorf("bench %s (workers=%d): %w", e.name, w, err)
+			}
+			ms := float64(time.Since(start).Nanoseconds()) / 1e6
+			res.Experiments[i].Name = e.name
+			if pass == 0 {
+				res.Experiments[i].SeqMs = ms
+				res.SeqMsTotal += ms
+			} else {
+				res.Experiments[i].ParMs = ms
+				res.ParMsTotal += ms
+			}
+		}
+	}
+	if res.ParMsTotal > 0 {
+		res.Speedup = res.SeqMsTotal / res.ParMsTotal
+	}
+	return res, nil
+}
+
+// WriteJSON writes the report to path (the BENCH_kernel.json artifact).
+func (r *BenchResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Table formats the report for the terminal.
+func (r *BenchResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Host performance: kernel %.0f events/sec (%.0f ns/event, %.3f allocs/packet), suite speedup %.2fx on %d CPUs",
+			r.Kernel.EventsPerSec, r.Kernel.NsPerEvent, r.Kernel.AllocsPerPacket, r.Speedup, r.GOMAXPROCS),
+		Columns: []string{"Experiment", "Seq(ms)", "Par(ms)", "Speedup"},
+		Notes: []string{
+			"virtual results are byte-identical at any worker count; only wall time changes",
+		},
+	}
+	for _, e := range r.Experiments {
+		sp := 0.0
+		if e.ParMs > 0 {
+			sp = e.SeqMs / e.ParMs
+		}
+		t.Rows = append(t.Rows, []string{
+			e.Name, fmt.Sprintf("%.1f", e.SeqMs), fmt.Sprintf("%.1f", e.ParMs), f2(sp),
+		})
+	}
+	t.Rows = append(t.Rows, []string{
+		"total", fmt.Sprintf("%.1f", r.SeqMsTotal), fmt.Sprintf("%.1f", r.ParMsTotal), f2(r.Speedup),
+	})
+	return t
+}

@@ -26,7 +26,8 @@ type ChaosRow struct {
 	Reissued       uint64 // master lease re-issues (tsp only)
 	Timeouts       uint64 // client call-deadline expirations (tsp only)
 	SuccPct        float64
-	OK             bool // answer matched the sequential reference
+	OK             bool   // answer matched the sequential reference
+	FaultHash      uint64 // fault-trace hash (tsp only; 0 = no fault layer)
 }
 
 // Chaos sweeps drop rate x crash count over the two irregular
@@ -56,56 +57,75 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		}
 	}
 
-	var rows []ChaosRow
-
-	triWant := triCfg.BoardCounts().Solutions
-	for _, drop := range drops {
-		cfg := triCfg
-		if drop > 0 {
-			cfg.Fault = &cm5.FaultPlan{Seed: 21, DropProb: drop, DupProb: drop / 2}
-			cfg.Reliable = &reliable.Options{}
-		}
-		res, err := triangle.Run(apps.ORPC, triNodes, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("chaos triangle drop=%g: %w", drop, err)
-		}
-		row := ChaosRow{
-			App: "triangle", DropPct: drop * 100,
-			Elapsed: res.Elapsed, SuccPct: res.SuccessPercent(),
-			OK: res.Answer == triWant,
-		}
-		// Triangle's Run does not return fault counters; loss shows up
-		// indirectly as elapsed-time inflation, so only the tsp rows carry
-		// the full breakdown.
-		rows = append(rows, row)
+	// Flatten the sweep into an ordered job list so the cells can fan out
+	// across the worker pool and still merge in sweep order.
+	type job struct {
+		tri     bool
+		drop    float64
+		crashes int
 	}
-
-	tspWant := uint64(tsp.NewProblem(tspCities, 12).SolveSeq().Best)
+	var jobs []job
+	for _, drop := range drops {
+		jobs = append(jobs, job{tri: true, drop: drop})
+	}
 	for _, crashes := range []int{0, 1} {
 		for _, drop := range drops {
 			if crashes == 0 && drop == 0 {
 				// Covered (fault-free) by the regular TSP experiments.
 				continue
 			}
-			plan := &cm5.FaultPlan{Seed: 42, DropProb: drop, DupProb: drop / 2}
-			if crashes == 1 {
-				plan.Crashes = []cm5.Crash{{Node: tspSlaves, At: crashAt}}
-			}
-			cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Fault: plan}
-			res, st, err := tsp.RunChaos(tspSlaves, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("chaos tsp drop=%g crashes=%d: %w", drop, crashes, err)
-			}
-			rows = append(rows, ChaosRow{
-				App: "tsp", DropPct: drop * 100, Crashes: crashes,
-				Elapsed: res.Elapsed,
-				Dropped: st.Fault.Lost(), Duplicated: st.Fault.Duplicated,
-				Retransmits: st.Rel.Retransmits, DupsSuppressed: st.Rel.DupsSuppressed,
-				GaveUp: st.Rel.GaveUp, Reissued: st.Reissued, Timeouts: st.Timeouts,
-				SuccPct: res.SuccessPercent(),
-				OK:      res.Answer == tspWant,
-			})
+			jobs = append(jobs, job{drop: drop, crashes: crashes})
 		}
+	}
+
+	triWant := triCfg.BoardCounts().Solutions
+	tspWant := uint64(tsp.NewProblem(tspCities, 12).SolveSeq().Best)
+	rows := make([]ChaosRow, len(jobs))
+	err := forEach(len(jobs), func(i int) error {
+		j := jobs[i]
+		if j.tri {
+			cfg := triCfg
+			if j.drop > 0 {
+				cfg.Fault = &cm5.FaultPlan{Seed: 21, DropProb: j.drop, DupProb: j.drop / 2}
+				cfg.Reliable = &reliable.Options{}
+			}
+			res, err := triangle.Run(apps.ORPC, triNodes, cfg)
+			if err != nil {
+				return fmt.Errorf("chaos triangle drop=%g: %w", j.drop, err)
+			}
+			// Triangle's Run does not return fault counters; loss shows up
+			// indirectly as elapsed-time inflation, so only the tsp rows
+			// carry the full breakdown.
+			rows[i] = ChaosRow{
+				App: "triangle", DropPct: j.drop * 100,
+				Elapsed: res.Elapsed, SuccPct: res.SuccessPercent(),
+				OK: res.Answer == triWant,
+			}
+			return nil
+		}
+		plan := &cm5.FaultPlan{Seed: 42, DropProb: j.drop, DupProb: j.drop / 2}
+		if j.crashes == 1 {
+			plan.Crashes = []cm5.Crash{{Node: tspSlaves, At: crashAt}}
+		}
+		cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Fault: plan}
+		res, st, err := tsp.RunChaos(tspSlaves, cfg)
+		if err != nil {
+			return fmt.Errorf("chaos tsp drop=%g crashes=%d: %w", j.drop, j.crashes, err)
+		}
+		rows[i] = ChaosRow{
+			App: "tsp", DropPct: j.drop * 100, Crashes: j.crashes,
+			Elapsed: res.Elapsed,
+			Dropped: st.Fault.Lost(), Duplicated: st.Fault.Duplicated,
+			Retransmits: st.Rel.Retransmits, DupsSuppressed: st.Rel.DupsSuppressed,
+			GaveUp: st.Rel.GaveUp, Reissued: st.Reissued, Timeouts: st.Timeouts,
+			SuccPct:   res.SuccessPercent(),
+			OK:        res.Answer == tspWant,
+			FaultHash: st.FaultHash,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

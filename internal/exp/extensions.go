@@ -27,10 +27,12 @@ type BudgetRow struct {
 // executions abort to threads and short calls keep their microsecond
 // latency.
 func Budget() []BudgetRow {
-	var rows []BudgetRow
-	for _, b := range []sim.Duration{0, sim.Micros(100), sim.Micros(25)} {
-		rows = append(rows, runBudget(b))
-	}
+	budgets := []sim.Duration{0, sim.Micros(100), sim.Micros(25)}
+	rows := make([]BudgetRow, len(budgets))
+	forEach(len(budgets), func(i int) error {
+		rows[i] = runBudget(budgets[i])
+		return nil
+	})
 	return rows
 }
 
@@ -142,12 +144,13 @@ type BufferRow struct {
 // immediately. A producer streams small messages to a consumer that
 // polls only between compute quanta.
 func Buffering() []BufferRow {
-	var rows []BufferRow
-	for _, cap := range []int{2, 8, 128} {
-		for _, quantum := range []sim.Duration{sim.Micros(20), sim.Micros(200)} {
-			rows = append(rows, runBuffering(cap, quantum))
-		}
-	}
+	caps := []int{2, 8, 128}
+	quanta := []sim.Duration{sim.Micros(20), sim.Micros(200)}
+	rows := make([]BufferRow, len(caps)*len(quanta))
+	forEach(len(rows), func(i int) error {
+		rows[i] = runBuffering(caps[i/len(quanta)], quanta[i%len(quanta)])
+		return nil
+	})
 	return rows
 }
 

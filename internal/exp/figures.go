@@ -78,20 +78,26 @@ func Fig1Triangle(s Scale) (*Table, []FigRow, error) {
 	}
 	seq := triangle.SeqTime(cfg.BoardCounts())
 	procs := s.procs([]int{1, 2, 4, 8, 16, 32, 64, 128})
-	var rows []FigRow
-	for _, sys := range apps.Systems {
-		for _, p := range procs {
-			res, err := triangle.Run(sys, p, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			rows = append(rows, FigRow{
-				System: sys.String(), Nodes: p,
-				Runtime: res.Elapsed, Speedup: res.Speedup(seq),
-				OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
-				LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
-			})
+	// Each (system, P) cell is an independent simulation with its own
+	// engine; fan out across the worker pool and merge by index so row
+	// order matches the sequential loops exactly.
+	rows := make([]FigRow, len(apps.Systems)*len(procs))
+	err := forEach(len(rows), func(i int) error {
+		sys, p := apps.Systems[i/len(procs)], procs[i%len(procs)]
+		res, err := triangle.Run(sys, p, cfg)
+		if err != nil {
+			return err
 		}
+		rows[i] = FigRow{
+			System: sys.String(), Nodes: p,
+			Runtime: res.Elapsed, Speedup: res.Speedup(seq),
+			OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
+			LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := figTable(
 		fmt.Sprintf("Figure 1: Triangle puzzle (side %d, seq %.1fs)", cfg.Side, seq.Seconds()),
@@ -111,20 +117,23 @@ func Fig2TSP(s Scale) (*Table, []FigRow, error) {
 	}
 	slavesList = s.procs(slavesList)
 	seq := tsp.SeqTime(tsp.NewProblem(cfg.Cities, cfg.Seed).SolveSeq())
-	var rows []FigRow
-	for _, sys := range apps.Systems {
-		for _, sl := range slavesList {
-			res, err := tsp.Run(sys, sl, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			rows = append(rows, FigRow{
-				System: sys.String(), Nodes: sl,
-				Runtime: res.Elapsed, Speedup: res.Speedup(seq),
-				OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
-				LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
-			})
+	rows := make([]FigRow, len(apps.Systems)*len(slavesList))
+	err := forEach(len(rows), func(i int) error {
+		sys, sl := apps.Systems[i/len(slavesList)], slavesList[i%len(slavesList)]
+		res, err := tsp.Run(sys, sl, cfg)
+		if err != nil {
+			return err
 		}
+		rows[i] = FigRow{
+			System: sys.String(), Nodes: sl,
+			Runtime: res.Elapsed, Speedup: res.Speedup(seq),
+			OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
+			LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := figTable(
 		fmt.Sprintf("Figure 2: TSP (%d cities, seq %.1fs); P = number of slaves", cfg.Cities, seq.Seconds()),
@@ -177,24 +186,27 @@ func Fig3SOR(s Scale) (*Table, []FigRow, error) {
 		// data destinations, which should match AM.
 		{"ORPC-ssd", func(p int) (apps.Result, error) { return sor.RunSenderSpecified(p, cfg) }},
 	}
-	var rows []FigRow
-	for _, v := range variants {
-		for _, p := range procs {
-			res, err := v.run(p)
-			if err != nil {
-				return nil, nil, err
-			}
-			if res.Answer != seqr.Checksum {
-				return nil, nil, fmt.Errorf("sor/%v/%d: wrong grid", v.name, p)
-			}
-			rows = append(rows, FigRow{
-				System: v.name, Nodes: p,
-				Runtime: res.Elapsed, Speedup: res.Speedup(seqr.Time),
-				OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
-				LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
-				BulkSent: res.BulkSent,
-			})
+	rows := make([]FigRow, len(variants)*len(procs))
+	err := forEach(len(rows), func(i int) error {
+		v, p := variants[i/len(procs)], procs[i%len(procs)]
+		res, err := v.run(p)
+		if err != nil {
+			return err
 		}
+		if res.Answer != seqr.Checksum {
+			return fmt.Errorf("sor/%v/%d: wrong grid", v.name, p)
+		}
+		rows[i] = FigRow{
+			System: v.name, Nodes: p,
+			Runtime: res.Elapsed, Speedup: res.Speedup(seqr.Time),
+			OAMs: res.OAMs, SuccPct: res.SuccessPercent(),
+			LiveStk: res.LiveStackPct, Threads: res.ThreadsCreated,
+			BulkSent: res.BulkSent,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := figTable(
 		fmt.Sprintf("Figure 3: SOR (%dx%d grid, %d iters, seq %.1fs)",
@@ -234,28 +246,31 @@ func Fig4Water(s Scale) (*Table, []FigRow, error) {
 	}
 	procs = s.procs(procs)
 	seq := water.SolveSeq(water.Config{Mols: cfg.Mols, Iters: 1, Seed: cfg.Seed})
-	var rows []FigRow
-	for _, v := range WaterVariants {
-		for _, p := range procs {
-			resN, err := water.Run(v.Sys, p, v.Barrier, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			one := cfg
-			one.Iters = 1
-			res1, err := water.Run(v.Sys, p, v.Barrier, one)
-			if err != nil {
-				return nil, nil, err
-			}
-			perIter := (resN.Elapsed - res1.Elapsed) / sim.Duration(cfg.Iters-1)
-			rows = append(rows, FigRow{
-				System: v.Name, Nodes: p,
-				Runtime: perIter,
-				Speedup: float64(seq.TimePerIter) / float64(perIter),
-				OAMs:    resN.OAMs, SuccPct: resN.SuccessPercent(),
-				LiveStk: resN.LiveStackPct, Threads: resN.ThreadsCreated,
-			})
+	rows := make([]FigRow, len(WaterVariants)*len(procs))
+	err := forEach(len(rows), func(i int) error {
+		v, p := WaterVariants[i/len(procs)], procs[i%len(procs)]
+		resN, err := water.Run(v.Sys, p, v.Barrier, cfg)
+		if err != nil {
+			return err
 		}
+		one := cfg
+		one.Iters = 1
+		res1, err := water.Run(v.Sys, p, v.Barrier, one)
+		if err != nil {
+			return err
+		}
+		perIter := (resN.Elapsed - res1.Elapsed) / sim.Duration(cfg.Iters-1)
+		rows[i] = FigRow{
+			System: v.Name, Nodes: p,
+			Runtime: perIter,
+			Speedup: float64(seq.TimePerIter) / float64(perIter),
+			OAMs:    resN.OAMs, SuccPct: resN.SuccessPercent(),
+			LiveStk: resN.LiveStackPct, Threads: resN.ThreadsCreated,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	t := figTable(
 		fmt.Sprintf("Figure 4: Water (%d molecules, per-iteration, seq %.1fs/iter)",
@@ -283,14 +298,20 @@ func Table3(s Scale) (*Table, error) {
 			"paper: 100% at 2-16 processors, 99.6-99.8% at 32-128",
 		},
 	}
-	for _, p := range procs {
+	t.Rows = make([][]string, len(procs))
+	err := forEach(len(procs), func(i int) error {
+		p := procs[i]
 		res, err := water.Run(apps.ORPC, p, false, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		t.Rows = append(t.Rows, []string{
+		t.Rows[i] = []string{
 			itoa(p), u64(res.OAMs), u64(res.Successes), f1(res.SuccessPercent()),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -29,11 +29,20 @@ type InterruptRow struct {
 // with the interrupt overhead; coarse polling is cheap but queues
 // messages for up to a quantum.
 func Interrupts() []InterruptRow {
-	return []InterruptRow{
-		runInterrupts(false, sim.Micros(2000)),
-		runInterrupts(false, sim.Micros(200)),
-		runInterrupts(true, sim.Micros(2000)),
+	cells := []struct {
+		ints    bool
+		quantum sim.Duration
+	}{
+		{false, sim.Micros(2000)},
+		{false, sim.Micros(200)},
+		{true, sim.Micros(2000)},
 	}
+	rows := make([]InterruptRow, len(cells))
+	forEach(len(cells), func(i int) error {
+		rows[i] = runInterrupts(cells[i].ints, cells[i].quantum)
+		return nil
+	})
+	return rows
 }
 
 func runInterrupts(useInterrupts bool, quantum sim.Duration) InterruptRow {

@@ -28,8 +28,9 @@ func SORSizes(quick bool) ([]SORSizeRow, error) {
 		p = 8
 		sizes = [][2]int{{34, 16}, {66, 16}, {130, 16}}
 	}
-	var out []SORSizeRow
-	for _, sz := range sizes {
+	out := make([]SORSizeRow, len(sizes))
+	err := forEach(len(sizes), func(i int) error {
+		sz := sizes[i]
 		cfg := sor.DefaultConfig()
 		cfg.Rows, cfg.Cols = sz[0], sz[1]
 		if quick {
@@ -37,19 +38,23 @@ func SORSizes(quick bool) ([]SORSizeRow, error) {
 		}
 		orpc, err := sor.Run(apps.ORPC, p, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		trpc, err := sor.Run(apps.TRPC, p, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		gap := trpc.Elapsed - orpc.Elapsed
-		out = append(out, SORSizeRow{
+		out[i] = SORSizeRow{
 			Rows: sz[0], Cols: sz[1],
 			ORPC: orpc.Elapsed, TRPC: trpc.Elapsed,
 			AbsGap:    gap,
 			RelGapPct: 100 * float64(gap) / float64(trpc.Elapsed),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

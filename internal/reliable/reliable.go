@@ -302,10 +302,17 @@ func (t *Transport) handleData(c threads.Ctx, pkt *cm5.Packet) {
 		return
 	}
 	t.stats.Delivered++
-	ns.ep.Deliver(c, &cm5.Packet{
-		Src: pkt.Src, Dst: pkt.Dst, Kind: pkt.Kind,
-		Handler: int(pkt.W1), W0: pkt.W2, W1: pkt.W3, Payload: pkt.Payload,
-	})
+	// De-frame into a pooled packet for the inner handler. Deliver leaves
+	// ownership with us (the transport), so recycle the struct afterwards;
+	// the payload buffer passes to the application untouched.
+	m := ns.ep.Node().Machine()
+	inner := m.AllocPacket()
+	inner.Src, inner.Dst, inner.Kind = pkt.Src, pkt.Dst, pkt.Kind
+	inner.Handler = int(pkt.W1)
+	inner.W0, inner.W1 = pkt.W2, pkt.W3
+	inner.Payload = pkt.Payload
+	ns.ep.Deliver(c, inner)
+	m.ReleasePacket(inner)
 }
 
 // handleAck retires pending messages: the per-seq ack plus everything at

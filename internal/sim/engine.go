@@ -3,7 +3,24 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
+
+// heapSizeHint pre-sizes the event heap so steady-state simulations never
+// grow it; eventChunk is the slab size of the event free list.
+const (
+	heapSizeHint = 1 << 10
+	eventChunk   = 256
+)
+
+// Action is a pre-allocated event callback: an alternative to the func()
+// of At/After that avoids the per-event closure allocation on hot paths.
+// The engine stores the interface value it is given; implementations are
+// typically pooled by their owner, which must not recycle an Action
+// before it fires.
+type Action interface {
+	Run()
+}
 
 // Engine is the discrete-event simulation kernel. Create one with New,
 // spawn processes with Spawn, and drive the simulation with Run.
@@ -15,14 +32,15 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
+	free    *event // recycled events (single-threaded: no locking)
 	running *Proc
 	// kernelCh is signaled by a process when it hands control back.
 	kernelCh chan struct{}
 	rng      *rand.Rand
 	tracer   Tracer
-	procs    map[uint64]*Proc // live (spawned, not yet finished) processes
-	stopped  bool             // set by Stop
-	killing  bool             // set by Shutdown
+	procs    []*Proc // live (spawned, not yet finished) processes, unordered
+	stopped  bool    // set by Stop
+	killing  bool    // set by Shutdown
 	failure  error
 
 	// Stats counters, cheap enough to keep always-on.
@@ -36,7 +54,7 @@ func New(seed int64) *Engine {
 	return &Engine{
 		kernelCh: make(chan struct{}),
 		rng:      rand.New(rand.NewSource(seed)),
-		procs:    make(map[uint64]*Proc),
+		heap:     eventHeap{ev: make([]*event, 0, heapSizeHint)},
 	}
 }
 
@@ -58,33 +76,84 @@ func (e *Engine) Dispatches() uint64 { return e.dispatches }
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return len(e.procs) }
 
-// At schedules fn to run in kernel context at absolute time t. Scheduling
-// in the past is a programming error. Kernel callbacks must not block or
-// call process-context methods such as Charge or Park.
-func (e *Engine) At(t Time, fn func()) { e.at(t, fn) }
+// alloc takes an event from the free list, refilling it a slab at a time.
+func (e *Engine) alloc() *event {
+	ev := e.free
+	if ev == nil {
+		chunk := make([]event, eventChunk)
+		for i := range chunk {
+			chunk[i].next = e.free
+			e.free = &chunk[i]
+		}
+		ev = e.free
+	}
+	e.free = ev.next
+	ev.next = nil
+	return ev
+}
 
-func (e *Engine) at(t Time, fn func()) *event {
+// release recycles a fired or surfaced-cancelled event. Bumping gen
+// invalidates any Timer still holding the pointer.
+func (e *Engine) release(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.act = nil
+	ev.proc = nil
+	ev.kind = evFunc
+	ev.cancelled = false
+	ev.next = e.free
+	e.free = ev
+}
+
+// schedule is the single entry point onto the event heap.
+func (e *Engine) schedule(t Time, kind eventKind, fn func(), act Action, p *Proc) *event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.kind = kind
+	ev.fn = fn
+	ev.act = act
+	ev.proc = p
 	e.heap.push(ev)
 	return ev
 }
 
+// At schedules fn to run in kernel context at absolute time t. Scheduling
+// in the past is a programming error. Kernel callbacks must not block or
+// call process-context methods such as Charge or Park.
+func (e *Engine) At(t Time, fn func()) { e.schedule(t, evFunc, fn, nil, nil) }
+
 // After schedules fn to run in kernel context d from now.
 func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
 
+// AtAction schedules a pre-allocated Action at absolute time t. Unlike At
+// it allocates nothing beyond a pooled event, so hot paths (packet
+// delivery) can schedule without producing garbage.
+func (e *Engine) AtAction(t Time, a Action) { e.schedule(t, evAction, nil, a, nil) }
+
+// AfterAction schedules a pre-allocated Action d from now.
+func (e *Engine) AfterAction(d Duration, a Action) { e.AtAction(e.now.Add(d), a) }
+
+// atProc schedules the resumption of p at time t without any closure.
+func (e *Engine) atProc(t Time, p *Proc) { e.schedule(t, evProc, nil, nil, p) }
+
 // Timer is a handle to a scheduled kernel callback that can be cancelled
-// before it fires.
+// before it fires. Handles stay safe across event recycling: a Timer
+// whose event already fired (and may since have been reused for an
+// unrelated event) simply fails to cancel.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // AtTimer is At returning a cancellable handle.
 func (e *Engine) AtTimer(t Time, fn func()) *Timer {
-	return &Timer{ev: e.at(t, fn)}
+	ev := e.schedule(t, evFunc, fn, nil, nil)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // AfterTimer is After returning a cancellable handle.
@@ -95,10 +164,12 @@ func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
 // Cancel prevents the timer's callback from running and reports whether
 // it did (false when the callback already ran or was already cancelled).
 func (t *Timer) Cancel() bool {
-	if t.ev == nil || t.ev.cancelled || t.ev.fn == nil {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.cancelled {
 		return false
 	}
-	t.ev.cancelled = true
+	ev.cancelled = true
+	t.ev = nil
 	return true
 }
 
@@ -115,23 +186,44 @@ type killedSentinel struct{}
 // Run (i.e., not from a process or kernel callback). The engine is dead
 // afterwards. Simulations that end with parked service processes (node
 // idle loops, servers) should always Shutdown to avoid goroutine leaks.
+//
+// Victims are killed in ascending pid (spawn) order, so shutdown-time
+// tracer output is deterministic run to run.
 func (e *Engine) Shutdown() {
 	if e.running != nil {
 		panic("sim: Shutdown from inside the simulation")
 	}
 	e.killing = true
 	e.heap.ev = nil
+	e.free = nil
 	// Snapshot: dispatching kills procs, which mutates e.procs.
-	victims := make([]*Proc, 0, len(e.procs))
-	for _, p := range e.procs {
-		victims = append(victims, p)
-	}
+	victims := make([]*Proc, len(e.procs))
+	copy(victims, e.procs)
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, p := range victims {
 		if !p.dead {
 			e.dispatch(p)
 		}
 	}
 	e.stopped = true
+}
+
+// fire executes a popped event. The event is recycled before its payload
+// runs, so callbacks scheduling new events can reuse it immediately.
+func (e *Engine) fire(ev *event) {
+	kind, fn, act, p := ev.kind, ev.fn, ev.act, ev.proc
+	e.release(ev)
+	switch kind {
+	case evProc:
+		e.dispatch(p)
+	case evIntProc:
+		p.intTimer = Timer{}
+		e.dispatch(p)
+	case evAction:
+		act.Run()
+	default:
+		fn()
+	}
 }
 
 // Run executes events until the heap is empty, Stop is called, or a process
@@ -142,13 +234,12 @@ func (e *Engine) Run() error {
 	for !e.stopped && e.failure == nil && e.heap.len() > 0 {
 		ev := e.heap.pop()
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.events++
-		fn := ev.fn
-		ev.fn = nil // mark fired (Cancel returns false) and release
-		fn()
+		e.fire(ev)
 	}
 	return e.failure
 }
@@ -162,13 +253,12 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		ev := e.heap.pop()
 		if ev.cancelled {
+			e.release(ev)
 			continue
 		}
 		e.now = ev.at
 		e.events++
-		fn := ev.fn
-		ev.fn = nil
-		fn()
+		e.fire(ev)
 	}
 	if e.now < deadline && e.failure == nil {
 		e.now = deadline
@@ -208,6 +298,23 @@ func (e *Engine) yieldToKernel(p *Proc) {
 	if e.killing {
 		panic(killedSentinel{})
 	}
+}
+
+// addProc registers a newly spawned process in the live table.
+func (e *Engine) addProc(p *Proc) {
+	p.slot = len(e.procs)
+	e.procs = append(e.procs, p)
+}
+
+// removeProc drops a finished process from the live table by swapping the
+// last entry into its slot — O(1), no map on the spawn/exit path.
+func (e *Engine) removeProc(p *Proc) {
+	last := len(e.procs) - 1
+	moved := e.procs[last]
+	e.procs[p.slot] = moved
+	moved.slot = p.slot
+	e.procs[last] = nil
+	e.procs = e.procs[:last]
 }
 
 // checkRunning panics unless p is the currently executing process. It

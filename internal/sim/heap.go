@@ -1,12 +1,38 @@
 package sim
 
+// eventKind discriminates what a scheduled event does when it fires.
+// Typed kinds exist so that the hot paths (process resumption, packet
+// delivery) need no per-event closure allocation.
+type eventKind uint8
+
+const (
+	// evFunc runs a one-shot closure (the general At/After path).
+	evFunc eventKind = iota
+	// evProc resumes a process (Charge, Spawn, Unpark, Interrupt).
+	evProc
+	// evIntProc is an interruptible-charge expiry: it clears the
+	// process's interrupt timer and resumes it.
+	evIntProc
+	// evAction runs a pre-allocated Action (closure-free callbacks).
+	evAction
+)
+
 // event is a scheduled kernel action. Events with equal timestamps fire in
 // the order they were scheduled (seq), which makes runs deterministic.
 // Cancelled events stay in the heap and are dropped when they surface.
+//
+// Events are pooled: after firing (or surfacing cancelled) they return to
+// the engine's free list and gen is bumped, which invalidates any Timer
+// still holding the pointer.
 type event struct {
 	at        Time
 	seq       uint64
+	gen       uint64 // recycle generation; Timers capture it to stay valid
 	fn        func()
+	act       Action
+	proc      *Proc
+	next      *event // free-list link
+	kind      eventKind
 	cancelled bool
 }
 

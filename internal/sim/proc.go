@@ -20,9 +20,11 @@ type Proc struct {
 	parked bool
 	dead   bool
 	id     uint64
+	slot   int // index in the engine's live-proc table
 
-	// Interruptible-charge state (see ChargeInterruptible).
-	intTimer    *Timer
+	// Interruptible-charge state (see ChargeInterruptible). intTimer is a
+	// value, not a pointer, so arming it allocates nothing.
+	intTimer    Timer
 	intStart    Time
 	interrupted bool
 }
@@ -50,12 +52,12 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		resume: make(chan struct{}),
 		id:     e.seq,
 	}
-	e.procs[p.id] = p
+	e.addProc(p)
 	go func() {
 		<-p.resume // wait for first dispatch
 		defer func() {
 			p.dead = true
-			delete(e.procs, p.id)
+			e.removeProc(p)
 			if r := recover(); r != nil {
 				if _, kill := r.(killedSentinel); !kill && e.failure == nil {
 					e.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
@@ -72,7 +74,7 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 		}
 		body(p)
 	}()
-	e.At(e.now, func() { e.dispatch(p) })
+	e.atProc(e.now, p)
 	return p
 }
 
@@ -103,7 +105,7 @@ func (p *Proc) Charge(d Duration) {
 	}
 	p.eng.checkRunning(p, "Charge")
 	e := p.eng
-	e.At(e.now.Add(d), func() { e.dispatch(p) })
+	e.atProc(e.now.Add(d), p)
 	e.yieldToKernel(p)
 }
 
@@ -127,10 +129,8 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 	e := p.eng
 	p.intStart = e.now
 	p.interrupted = false
-	p.intTimer = e.AtTimer(e.now.Add(d), func() {
-		p.intTimer = nil
-		e.dispatch(p)
-	})
+	ev := e.schedule(e.now.Add(d), evIntProc, nil, nil, p)
+	p.intTimer = Timer{ev: ev, gen: ev.gen}
 	e.yieldToKernel(p)
 	if !p.interrupted {
 		return 0
@@ -146,16 +146,16 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 // charge was actually interrupted (false when p is not inside
 // ChargeInterruptible — a plain Charge cannot be preempted).
 func (p *Proc) Interrupt() bool {
-	if p.dead || p.intTimer == nil {
+	if p.dead || p.intTimer.ev == nil {
 		return false
 	}
 	if !p.intTimer.Cancel() {
 		return false
 	}
-	p.intTimer = nil
+	p.intTimer = Timer{}
 	p.interrupted = true
 	e := p.eng
-	e.At(e.now, func() { e.dispatch(p) })
+	e.atProc(e.now, p)
 	return true
 }
 
@@ -180,7 +180,7 @@ func (p *Proc) Unpark() {
 	}
 	p.parked = false
 	e := p.eng
-	e.At(e.now, func() { e.dispatch(p) })
+	e.atProc(e.now, p)
 }
 
 // UnparkAfter makes a parked process runnable d from now.
@@ -193,5 +193,5 @@ func (p *Proc) UnparkAfter(d Duration) {
 	}
 	p.parked = false
 	e := p.eng
-	e.At(e.now.Add(d), func() { e.dispatch(p) })
+	e.atProc(e.now.Add(d), p)
 }
