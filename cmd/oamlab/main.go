@@ -1,7 +1,7 @@
 // Command oamlab regenerates every table and figure of the paper's
 // evaluation (section 4) on the simulated machine:
 //
-//	oamlab [-quick] [-maxp N] [-csv] [-par N] <experiment>...
+//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-cpuprofile F] [-memprofile F] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
 // table3, ablation, schedpolicy, budget, buffering, chaos,
@@ -16,6 +16,9 @@
 // CPUs). Each cell owns a private simulation engine and results merge in
 // a fixed order, so the output is byte-identical at any setting; only
 // wall-clock time changes.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments, for finding host-side hot spots in the simulation kernel.
 package main
 
 import (
@@ -23,6 +26,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/exp"
@@ -41,8 +46,38 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	svgdir := fs.String("svgdir", "", "also render figures as SVG into this directory")
 	par := fs.Int("par", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
 	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "oamlab: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "oamlab: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(stderr, "oamlab: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "oamlab: memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	if *par > 0 {
@@ -137,6 +172,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 				return
 			}
 			emit(res.Table(), nil)
+			if res.Warning != "" {
+				fmt.Fprintf(stderr, "oamlab: warning: %s\n", res.Warning)
+			}
 			if code == 0 && *benchout != "" {
 				if err := res.WriteJSON(*benchout); err != nil {
 					fmt.Fprintf(stderr, "oamlab: bench: %v\n", err)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,6 +31,40 @@ func TestSmokeCSV(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Case,Cost (us)") {
 		t.Errorf("missing CSV header:\n%s", out.String())
+	}
+}
+
+// TestSmokeProfiles: -cpuprofile and -memprofile write non-empty pprof
+// files covering the run.
+func TestSmokeProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-quick", "-cpuprofile", cpu, "-memprofile", mem, "table1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestSmokeProfileBadPath: an unwritable profile path fails cleanly.
+func TestSmokeProfileBadPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-quick", "-cpuprofile", t.TempDir() + "/no/such/dir/cpu.pprof", "table1"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "cpuprofile") {
+		t.Errorf("missing diagnostic:\n%s", errb.String())
 	}
 }
 

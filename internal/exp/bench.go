@@ -21,9 +21,17 @@ import (
 type KernelBench struct {
 	Packets         uint64  `json:"packets"`
 	Events          uint64  `json:"events"`
+	Dispatches      uint64  `json:"dispatches"`
+	Handoffs        uint64  `json:"handoffs"`
 	WallNs          int64   `json:"wall_ns"`
 	NsPerEvent      float64 `json:"ns_per_event"`
 	EventsPerSec    float64 `json:"events_per_sec"`
+	NsPerDispatch   float64 `json:"ns_per_dispatch"`
+	DispatchesPerSec float64 `json:"dispatches_per_sec"`
+	// InlineEventFrac is the fraction of events the migrating kernel
+	// loop fired without any goroutine handoff (kernel callbacks, packet
+	// deliveries, and self-resumptions served on the live stack).
+	InlineEventFrac float64 `json:"inline_event_frac"`
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
 	AllocsPerEvent  float64 `json:"allocs_per_event"`
 }
@@ -39,9 +47,15 @@ type ExpBench struct {
 // BenchResult is the full host-performance report written to
 // BENCH_kernel.json by `oamlab bench`.
 type BenchResult struct {
-	GoVersion   string      `json:"go_version"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	Quick       bool        `json:"quick"`
+	GoVersion    string      `json:"go_version"`
+	GOMAXPROCS   int         `json:"gomaxprocs"`
+	NumCPU       int         `json:"num_cpu"`
+	WorkerCounts []int       `json:"worker_counts"` // harness widths of the seq and par passes
+	Quick        bool        `json:"quick"`
+	// Warning flags a report whose seq-vs-par comparison is meaningless
+	// (GOMAXPROCS=1 serializes the parallel pass); consumers should not
+	// read Speedup as a parallelism regression then.
+	Warning     string      `json:"warning,omitempty"`
 	Kernel      KernelBench `json:"kernel"`
 	Experiments []ExpBench  `json:"experiments"`
 	SeqMsTotal  float64     `json:"seq_ms_total"`
@@ -89,20 +103,29 @@ func KernelStorm(warmup, packets int) KernelBench {
 		panic(fmt.Sprintf("exp: kernel storm lost packets: %d of %d", received, total))
 	}
 	events := eng.Events()
+	dispatches := eng.Dispatches()
+	handoffs := eng.Handoffs()
 	allocs := float64(m1.Mallocs - m0.Mallocs)
 	kb := KernelBench{
 		Packets:         uint64(packets),
 		Events:          events,
+		Dispatches:      dispatches,
+		Handoffs:        handoffs,
 		WallNs:          wall.Nanoseconds(),
 		AllocsPerPacket: allocs / float64(packets),
 	}
 	if events > 0 {
 		kb.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
 		kb.EventsPerSec = float64(events) / wall.Seconds()
+		kb.InlineEventFrac = 1 - float64(handoffs)/float64(events)
 		// The measured window covers ~packets/total of the run; scale the
 		// event count rather than pretending the window saw them all.
 		winEvents := float64(events) * float64(packets) / float64(total)
 		kb.AllocsPerEvent = allocs / winEvents
+	}
+	if dispatches > 0 {
+		kb.NsPerDispatch = float64(wall.Nanoseconds()) / float64(dispatches)
+		kb.DispatchesPerSec = float64(dispatches) / wall.Seconds()
 	}
 	return kb
 }
@@ -141,13 +164,18 @@ func Bench(scale Scale) (*BenchResult, error) {
 	res := &BenchResult{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Quick:      scale.Quick,
 		Kernel:     KernelStorm(warmup, packets),
+	}
+	if res.GOMAXPROCS == 1 {
+		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par speedup does not measure harness parallelism"
 	}
 	saved := Workers
 	defer func() { Workers = saved }()
 	res.Experiments = make([]ExpBench, len(benchSuite))
-	for pass, w := range []int{1, res.GOMAXPROCS} {
+	res.WorkerCounts = []int{1, res.GOMAXPROCS}
+	for pass, w := range res.WorkerCounts {
 		Workers = w
 		for i, e := range benchSuite {
 			start := time.Now()
@@ -183,12 +211,16 @@ func (r *BenchResult) WriteJSON(path string) error {
 // Table formats the report for the terminal.
 func (r *BenchResult) Table() *Table {
 	t := &Table{
-		Title: fmt.Sprintf("Host performance: kernel %.0f events/sec (%.0f ns/event, %.3f allocs/packet), suite speedup %.2fx on %d CPUs",
-			r.Kernel.EventsPerSec, r.Kernel.NsPerEvent, r.Kernel.AllocsPerPacket, r.Speedup, r.GOMAXPROCS),
+		Title: fmt.Sprintf("Host performance: kernel %.0f events/sec (%.0f ns/event, %.0f ns/dispatch, %.1f%% inline, %.3f allocs/packet), suite speedup %.2fx on %d CPUs",
+			r.Kernel.EventsPerSec, r.Kernel.NsPerEvent, r.Kernel.NsPerDispatch,
+			100*r.Kernel.InlineEventFrac, r.Kernel.AllocsPerPacket, r.Speedup, r.GOMAXPROCS),
 		Columns: []string{"Experiment", "Seq(ms)", "Par(ms)", "Speedup"},
 		Notes: []string{
 			"virtual results are byte-identical at any worker count; only wall time changes",
 		},
+	}
+	if r.Warning != "" {
+		t.Notes = append(t.Notes, "WARNING: "+r.Warning)
 	}
 	for _, e := range r.Experiments {
 		sp := 0.0

@@ -1,0 +1,48 @@
+package exp
+
+import (
+	"testing"
+)
+
+// chaosGoldenHashes are the fault-trace hashes of the quick-scale chaos
+// sweep's TSP rows (the rows with a fault layer), recorded from the seed
+// kernel before the direct-handoff scheduler rewrite. The fault trace
+// hashes every drop/dup/crash decision with its virtual timestamp, so any
+// change to event order or timing anywhere in the stack shows up here.
+var chaosGoldenHashes = []uint64{
+	0x65595602f4e15059, 0x97610ea4b5f84710, 0xe41e5bca2c5c1758,
+	0xc437904a618d42b4, 0xa1bbc8bb4db2cb22, 0xe8858455bac5cc8a,
+	0xdc018251e5f87248,
+}
+
+// TestChaosFaultHashGolden pins the quick chaos sweep's fault traces
+// against the seed kernel: the host-scheduling rewrite must not move a
+// single fault decision in virtual time.
+func TestChaosFaultHashGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep simulates several lossy runs")
+	}
+	saved := Workers
+	Workers = 1
+	defer func() { Workers = saved }()
+
+	rows, err := Chaos(Scale{Quick: true})
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	var got []uint64
+	for _, r := range rows {
+		if r.FaultHash != 0 {
+			got = append(got, r.FaultHash)
+		}
+	}
+	t.Logf("fault hashes: %#x", got)
+	if len(got) != len(chaosGoldenHashes) {
+		t.Fatalf("fault-layer row count = %d, want %d", len(got), len(chaosGoldenHashes))
+	}
+	for i, h := range got {
+		if h != chaosGoldenHashes[i] {
+			t.Errorf("row %d: fault-trace hash %#x, want golden %#x", i, h, chaosGoldenHashes[i])
+		}
+	}
+}

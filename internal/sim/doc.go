@@ -8,9 +8,14 @@
 //
 // Processes are backed by goroutines but are not concurrent: a process runs
 // until it yields by charging virtual time (Charge), parking (Park), or
-// returning. The kernel then pops the next event off a (time, sequence)
-// ordered heap. Because only one goroutine is ever runnable, shared state
-// touched by processes and kernel callbacks needs no locking.
+// returning. The event loop then migrates onto the yielding goroutine: it
+// pops the next event off a (time, sequence) ordered heap in place, fires
+// kernel callbacks inline, resumes itself on the live stack when its own
+// event surfaces, and hands the loop to another process's goroutine with a
+// single channel send otherwise. Finished processes park their goroutine
+// on a free list for reuse by Spawn. Because only one goroutine is ever
+// runnable, shared state touched by processes and kernel callbacks needs
+// no locking.
 //
 // The package is the substrate for the CM-5 machine model (package cm5),
 // the user-level thread package (package threads), and everything above

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -12,6 +13,9 @@ const (
 	heapSizeHint = 1 << 10
 	eventChunk   = 256
 )
+
+// maxTime is the deadline used by Run: no event timestamp can exceed it.
+const maxTime = Time(math.MaxInt64)
 
 // Action is a pre-allocated event callback: an alternative to the func()
 // of At/After that avoids the per-event closure allocation on hot paths.
@@ -28,33 +32,50 @@ type Action interface {
 // All methods must be called either from kernel callbacks (At/After
 // functions) or from the currently running process; the kernel is strictly
 // sequential and is not safe for use from other goroutines.
+//
+// There is no dedicated kernel goroutine: the event loop migrates. The
+// goroutine that calls Run starts the loop; when a process yields, its
+// own goroutine becomes the kernel and keeps popping events in place, so
+// kernel callbacks and self-resumptions cost no goroutine switch at all,
+// and handing the virtual CPU to another process is a single channel
+// operation. Exactly one goroutine is the kernel at any instant.
 type Engine struct {
 	now     Time
 	seq     uint64
 	heap    eventHeap
 	free    *event // recycled events (single-threaded: no locking)
 	running *Proc
-	// kernelCh is signaled by a process when it hands control back.
-	kernelCh chan struct{}
+	// doneCh hands the kernel role back to the goroutine blocked in
+	// Run/RunUntil (or, per victim, Shutdown) when the loop ends its
+	// tenure on a process goroutine.
+	doneCh   chan struct{}
+	deadline Time // event horizon of the current Run/RunUntil
 	rng      *rand.Rand
 	tracer   Tracer
 	procs    []*Proc // live (spawned, not yet finished) processes, unordered
+	freeProc *Proc   // finished procs whose goroutine+channel await reuse
 	stopped  bool    // set by Stop
 	killing  bool    // set by Shutdown
 	failure  error
+	// kernelPanic holds a panic raised by a kernel callback (At/After fn
+	// or Action). It ends the run and is re-raised from Run/RunUntil on
+	// the caller's goroutine, matching the pre-migrating-loop behavior
+	// where callbacks always ran on the Run goroutine.
+	kernelPanic any
 
 	// Stats counters, cheap enough to keep always-on.
 	events     uint64
 	dispatches uint64
+	handoffs   uint64
 }
 
 // New returns an engine whose random source is seeded with seed.
 // The same seed always yields the same simulation.
 func New(seed int64) *Engine {
 	return &Engine{
-		kernelCh: make(chan struct{}),
-		rng:      rand.New(rand.NewSource(seed)),
-		heap:     eventHeap{ev: make([]*event, 0, heapSizeHint)},
+		doneCh: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		heap:   eventHeap{ev: make([]*event, 0, heapSizeHint)},
 	}
 }
 
@@ -72,6 +93,11 @@ func (e *Engine) Events() uint64 { return e.events }
 
 // Dispatches reports the number of process control transfers so far.
 func (e *Engine) Dispatches() uint64 { return e.dispatches }
+
+// Handoffs reports how many dispatches crossed goroutines (one channel
+// operation each). Dispatches minus Handoffs is the number of resumes the
+// yielding goroutine served to itself with zero channel operations.
+func (e *Engine) Handoffs() uint64 { return e.handoffs }
 
 // Live reports the number of spawned processes that have not finished.
 func (e *Engine) Live() int { return len(e.procs) }
@@ -182,8 +208,9 @@ func (e *Engine) Stop() { e.stopped = true }
 type killedSentinel struct{}
 
 // Shutdown forcibly terminates every live process and drops all pending
-// events, releasing the backing goroutines. It must be called from outside
-// Run (i.e., not from a process or kernel callback). The engine is dead
+// events, releasing the backing goroutines — including the pooled workers
+// of already-finished processes. It must be called from outside Run
+// (i.e., not from a process or kernel callback). The engine is dead
 // afterwards. Simulations that end with parked service processes (node
 // idle loops, servers) should always Shutdown to avoid goroutine leaks.
 //
@@ -196,34 +223,134 @@ func (e *Engine) Shutdown() {
 	e.killing = true
 	e.heap.ev = nil
 	e.free = nil
-	// Snapshot: dispatching kills procs, which mutates e.procs.
+	// Snapshot: killing procs mutates e.procs.
 	victims := make([]*Proc, len(e.procs))
 	copy(victims, e.procs)
 	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
 	for _, p := range victims {
-		if !p.dead {
-			e.dispatch(p)
+		if p.dead {
+			continue
 		}
+		e.dispatches++
+		e.handoffs++
+		e.running = p
+		if e.tracer != nil {
+			e.tracer.Resume(e.now, p)
+		}
+		p.resume <- struct{}{}
+		<-e.doneCh // the victim's goroutine has unwound
+		e.running = nil
 	}
+	// Drain the worker pool: a token with no body pending tells the
+	// goroutine to exit instead of running an incarnation.
+	for p := e.freeProc; p != nil; p = p.next {
+		p.resume <- struct{}{}
+	}
+	e.freeProc = nil
 	e.stopped = true
 }
 
-// fire executes a popped event. The event is recycled before its payload
-// runs, so callbacks scheduling new events can reuse it immediately.
-func (e *Engine) fire(ev *event) {
-	kind, fn, act, p := ev.kind, ev.fn, ev.act, ev.proc
-	e.release(ev)
-	switch kind {
-	case evProc:
-		e.dispatch(p)
-	case evIntProc:
-		p.intTimer = Timer{}
-		e.dispatch(p)
-	case evAction:
+// loopOutcome says how a kernel-loop tenure on some goroutine ended.
+type loopOutcome uint8
+
+const (
+	// loopEnded: the run is over (heap empty, deadline passed, Stop,
+	// failure, or a kernel-callback panic). The kernel role returns to
+	// the goroutine blocked in Run.
+	loopEnded loopOutcome = iota
+	// loopSelf: the caller's own resume event surfaced; it simply
+	// continues as the running process. Zero channel operations.
+	loopSelf
+	// loopHandoff: the kernel role was handed to another process's
+	// goroutine with a single channel send.
+	loopHandoff
+)
+
+// loop runs the kernel on the calling goroutine: it pops and fires events
+// until the run ends, the role moves to another goroutine, or — when self
+// is non-nil — self's own resumption surfaces, in which case the caller
+// continues straight back into process context on the live stack.
+func (e *Engine) loop(self *Proc) loopOutcome {
+	for {
+		if e.stopped || e.failure != nil || e.kernelPanic != nil || e.heap.len() == 0 {
+			return loopEnded
+		}
+		if e.heap.ev[0].at > e.deadline {
+			return loopEnded
+		}
+		ev := e.heap.pop()
+		if ev.cancelled {
+			e.release(ev)
+			continue
+		}
+		e.now = ev.at
+		e.events++
+		// Recycle before firing, so callbacks scheduling new events can
+		// reuse the slot immediately.
+		kind, fn, act, p := ev.kind, ev.fn, ev.act, ev.proc
+		e.release(ev)
+		switch kind {
+		case evProc, evIntProc:
+			if kind == evIntProc {
+				p.intTimer = Timer{}
+			}
+			if p.dead {
+				continue
+			}
+			if e.running != nil {
+				panic("sim: dispatch while a process is running")
+			}
+			e.dispatches++
+			e.running = p
+			if e.tracer != nil {
+				e.tracer.Resume(e.now, p)
+			}
+			if p == self {
+				return loopSelf
+			}
+			e.handoffs++
+			p.resume <- struct{}{}
+			return loopHandoff
+		case evAction:
+			e.fireCallback(nil, act)
+		default:
+			e.fireCallback(fn, nil)
+		}
+	}
+}
+
+// fireCallback runs a kernel callback, converting a panic into a stashed
+// kernelPanic so it unwinds no process goroutine; Run re-raises it.
+func (e *Engine) fireCallback(fn func(), act Action) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.kernelPanic = r
+		}
+	}()
+	if act != nil {
 		act.Run()
-	default:
+	} else {
 		fn()
 	}
+}
+
+// runKernel starts a kernel tenure on the calling (Run) goroutine and
+// blocks until the run is over, however many goroutines the loop migrated
+// across in between.
+func (e *Engine) runKernel() {
+	if e.loop(nil) == loopHandoff {
+		<-e.doneCh
+	}
+}
+
+// finishRun re-raises a stashed kernel-callback panic on the caller's
+// goroutine, or reports the first process failure.
+func (e *Engine) finishRun() error {
+	if r := e.kernelPanic; r != nil {
+		e.kernelPanic = nil
+		panic(r)
+	}
+	return e.failure
 }
 
 // Run executes events until the heap is empty, Stop is called, or a process
@@ -231,70 +358,44 @@ func (e *Engine) fire(ev *event) {
 // parked processes with an empty heap is quiescence, not an error; callers
 // that consider it a deadlock can check Live.
 func (e *Engine) Run() error {
-	for !e.stopped && e.failure == nil && e.heap.len() > 0 {
-		ev := e.heap.pop()
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		e.events++
-		e.fire(ev)
-	}
-	return e.failure
+	e.deadline = maxTime
+	e.runKernel()
+	return e.finishRun()
 }
 
 // RunUntil executes events with timestamps <= deadline. It returns the
 // first process failure, if any.
 func (e *Engine) RunUntil(deadline Time) error {
-	for !e.stopped && e.failure == nil && e.heap.len() > 0 {
-		if e.heap.ev[0].at > deadline {
-			break
-		}
-		ev := e.heap.pop()
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		e.events++
-		e.fire(ev)
-	}
-	if e.now < deadline && e.failure == nil {
+	e.deadline = deadline
+	e.runKernel()
+	if e.now < deadline && e.failure == nil && e.kernelPanic == nil {
 		e.now = deadline
 	}
-	return e.failure
+	return e.finishRun()
 }
 
-// dispatch transfers control to p and blocks (the kernel goroutine) until p
-// yields back. It must only be called from kernel context.
-func (e *Engine) dispatch(p *Proc) {
-	if p.dead {
-		return
-	}
-	if e.running != nil {
-		panic("sim: dispatch while a process is running")
-	}
-	e.dispatches++
-	e.running = p
-	if e.tracer != nil {
-		e.tracer.Resume(e.now, p)
-	}
-	p.resume <- struct{}{}
-	<-e.kernelCh
-	e.running = nil
-}
-
-// yieldToKernel hands control from the running process back to the kernel
-// and blocks until the process is dispatched again. If the engine is being
-// shut down when control returns, the process unwinds via the kill
-// sentinel, which the Spawn wrapper recovers.
+// yieldToKernel hands control from the running process to the kernel: the
+// process's own goroutine becomes the kernel and keeps firing events in
+// place. It returns when the process is next dispatched — directly, when
+// its own resume event surfaces during its tenure (no channel operation),
+// or via a handoff from whichever goroutine holds the loop by then. If
+// the engine is being shut down when control returns, the process unwinds
+// via the kill sentinel, which the spawn wrapper recovers.
 func (e *Engine) yieldToKernel(p *Proc) {
 	if e.tracer != nil {
 		e.tracer.Yield(e.now, p)
 	}
-	e.kernelCh <- struct{}{}
-	<-p.resume
+	e.running = nil
+	switch e.loop(p) {
+	case loopSelf:
+		// Resumed on the live stack; this goroutine held the kernel role
+		// throughout and is the running process again.
+	case loopEnded:
+		e.doneCh <- struct{}{}
+		<-p.resume
+	case loopHandoff:
+		<-p.resume
+	}
 	if e.killing {
 		panic(killedSentinel{})
 	}

@@ -13,14 +13,22 @@ type Duration = time.Duration
 // Proc is a simulated coroutine process. A Proc executes user code when the
 // kernel dispatches it; it yields by calling Charge, Sleep, Park, or by
 // returning from its body.
+//
+// Procs are pooled: when a body returns, the Proc — goroutine, resume
+// channel and struct — parks on the engine's free list, and a later Spawn
+// recycles it as a fresh process. A *Proc held after its process finished
+// stays inert (Unpark and friends see it dead) only until that recycling;
+// holding a handle past the process's death is a programming error.
 type Proc struct {
 	eng    *Engine
 	name   string
-	resume chan struct{}
+	resume chan struct{} // cap 1: a handoff token can be deposited by its own goroutine
+	body   func(p *Proc) // pending incarnation; consumed at first dispatch
 	parked bool
 	dead   bool
 	id     uint64
-	slot   int // index in the engine's live-proc table
+	slot   int   // index in the engine's live-proc table
+	next   *Proc // free-list link while pooled
 
 	// Interruptible-charge state (see ChargeInterruptible). intTimer is a
 	// value, not a pointer, so arming it allocates nothing.
@@ -44,38 +52,88 @@ func (e *PanicError) Error() string {
 // Spawn creates a process named name running body, scheduled to start at
 // the current virtual time (after already-scheduled same-time events). The
 // body runs in process context: it may call Charge, Sleep, Park and friends.
+//
+// Spawn reuses the goroutine and resume channel of a finished process
+// when one is pooled, so steady-state process churn allocates nothing.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	e.seq++
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
-		id:     e.seq,
+	p := e.freeProc
+	if p != nil {
+		e.freeProc = p.next
+		p.next = nil
+		p.name = name
+		p.dead = false
+	} else {
+		p = &Proc{eng: e, name: name, resume: make(chan struct{}, 1)}
+		go e.procLoop(p)
 	}
+	p.id = e.seq
+	p.body = body
 	e.addProc(p)
-	go func() {
-		<-p.resume // wait for first dispatch
-		defer func() {
-			p.dead = true
-			e.removeProc(p)
-			if r := recover(); r != nil {
-				if _, kill := r.(killedSentinel); !kill && e.failure == nil {
-					e.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
-				}
-			}
-			if e.tracer != nil {
-				e.tracer.Exit(e.now, p)
-			}
-			// Hand control back to the kernel for good.
-			e.kernelCh <- struct{}{}
-		}()
-		if e.killing {
-			panic(killedSentinel{})
-		}
-		body(p)
-	}()
 	e.atProc(e.now, p)
 	return p
+}
+
+// procLoop is the lifetime of a worker goroutine: one process incarnation
+// per iteration. After a body returns, the goroutine — which at that
+// moment holds the kernel role the dead process gave up — parks its Proc
+// for reuse, keeps firing events until the kernel role moves on, then
+// sleeps until a later Spawn dispatches it again.
+func (e *Engine) procLoop(p *Proc) {
+	for {
+		<-p.resume
+		if p.body == nil {
+			return // Shutdown drained the worker pool
+		}
+		e.runBody(p)
+		if e.killing {
+			// Shutdown dispatched us to unwind; hand control back to it
+			// and terminate instead of pooling.
+			e.doneCh <- struct{}{}
+			return
+		}
+		// Pool the proc before continuing as the kernel: the free list
+		// is only ever touched by the kernel-role holder, and the
+		// buffered resume channel makes a respawn-and-dispatch within
+		// our own tenure safe (the token waits until we loop around).
+		e.running = nil
+		e.releaseProc(p)
+		if e.loop(nil) == loopEnded {
+			e.doneCh <- struct{}{}
+		}
+	}
+}
+
+// runBody executes one incarnation, converting a panic into the engine's
+// failure (or swallowing the kill sentinel) and emitting the exit trace.
+func (e *Engine) runBody(p *Proc) {
+	body := p.body
+	p.body = nil
+	defer func() {
+		p.dead = true
+		e.removeProc(p)
+		if r := recover(); r != nil {
+			if _, kill := r.(killedSentinel); !kill && e.failure == nil {
+				e.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
+			}
+		}
+		if e.tracer != nil {
+			e.tracer.Exit(e.now, p)
+		}
+	}()
+	if e.killing {
+		panic(killedSentinel{})
+	}
+	body(p)
+}
+
+// releaseProc parks a finished proc on the free list for reuse.
+func (e *Engine) releaseProc(p *Proc) {
+	p.parked = false
+	p.interrupted = false
+	p.intTimer = Timer{}
+	p.next = e.freeProc
+	e.freeProc = p
 }
 
 // Name returns the process name given at Spawn.

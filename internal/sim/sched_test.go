@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// chargeZero is a static body so spawning it allocates no closure.
+func chargeZero(p *Proc) { p.Charge(0) }
+
+// TestSpawnExitZeroAllocs is the allocation budget of the process
+// lifecycle: once the worker pool is warm, a Spawn -> run -> exit cycle
+// must reuse a pooled goroutine, resume channel, and Proc struct rather
+// than allocate. The budget tolerates stray runtime allocations amortized
+// over the window; a per-spawn allocation anywhere would read as >= 1.
+func TestSpawnExitZeroAllocs(t *testing.T) {
+	e := New(1)
+	defer e.Shutdown()
+	const warmup, measured = 200, 5_000
+	var m0, m1 runtime.MemStats
+	e.Spawn("driver", func(p *Proc) {
+		for i := 0; i < warmup; i++ {
+			e.Spawn("w", chargeZero)
+			p.Charge(Micros(1))
+		}
+		runtime.ReadMemStats(&m0)
+		for i := 0; i < measured; i++ {
+			e.Spawn("w", chargeZero)
+			p.Charge(Micros(1))
+		}
+		runtime.ReadMemStats(&m1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perSpawn := float64(m1.Mallocs-m0.Mallocs) / measured
+	if perSpawn >= 0.01 {
+		t.Fatalf("pooled spawn/exit cycle allocates %.4f objects/op, want 0", perSpawn)
+	}
+}
+
+// TestDispatchCounters pins the split between direct handoffs and
+// zero-channel-op self-resumes: a lone process that only charges must be
+// resumed inline by its own goroutine every time after the first
+// dispatch.
+func TestDispatchCounters(t *testing.T) {
+	e := New(1)
+	const rounds = 50
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < rounds; i++ {
+			p.Charge(Micros(1))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// rounds+1 dispatches: the initial spawn handoff plus one per charge.
+	if got := e.Dispatches(); got != rounds+1 {
+		t.Fatalf("dispatches = %d, want %d", got, rounds+1)
+	}
+	// Only the spawn dispatch crosses goroutines (Run's goroutine hands
+	// the kernel to the proc); every charge resume is served in place.
+	if got := e.Handoffs(); got != 1 {
+		t.Fatalf("handoffs = %d, want 1 (self-resumes must be inline)", got)
+	}
+}
+
+// BenchmarkDispatchPingPong measures the cost of a cross-goroutine
+// process switch: two processes charge in lockstep, so every dispatch
+// hands the kernel role to the other process's goroutine.
+func BenchmarkDispatchPingPong(b *testing.B) {
+	e := New(1)
+	defer e.Shutdown()
+	body := func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Charge(Microsecond)
+		}
+	}
+	e.Spawn("ping", body)
+	e.Spawn("pong", body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if d := e.Dispatches(); d > 0 {
+		b.ReportMetric(float64(e.Handoffs())/float64(d), "handoffs/dispatch")
+	}
+}
+
+// BenchmarkDispatchSelfResume measures the live-stack fast path: a lone
+// charging process pops its own resume event and continues inline, with
+// no channel operation or goroutine switch at all.
+func BenchmarkDispatchSelfResume(b *testing.B) {
+	e := New(1)
+	defer e.Shutdown()
+	e.Spawn("solo", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Charge(Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSpawnExit measures a full pooled process lifecycle, spawn
+// through exit.
+func BenchmarkSpawnExit(b *testing.B) {
+	e := New(1)
+	defer e.Shutdown()
+	e.Spawn("driver", func(p *Proc) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Spawn("w", chargeZero)
+			p.Charge(Micros(1))
+		}
+		b.StopTimer()
+	})
+	b.ReportAllocs()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
