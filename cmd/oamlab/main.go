@@ -8,6 +8,20 @@
 // micro (table1+bulk+abortcost), bench (host-performance report),
 // all (everything).
 //
+// Observability subcommands (see internal/obs):
+//
+//	oamlab [-quick] trace <app> [-p N] [-sys am|orpc|trpc] [-o file]
+//	oamlab [-quick] metrics <app> [-p N] [-sys am|orpc|trpc] [-top N]
+//
+// trace records one application run (triangle, tsp, sor, water) and
+// writes a Chrome trace-event JSON timeline — load it in Perfetto
+// (https://ui.perfetto.dev) — with one process per node and tracks for
+// cpu burns, handler runs, optimistic dispatches/aborts, RPC calls,
+// packet flights and thread lifetimes. metrics prints the per-node
+// counter/gauge/histogram registry and a virtual-time profile of the
+// same run. Both are deterministic: the same seed yields byte-identical
+// output.
+//
 // -quick shrinks the problem sizes so the suite runs in seconds; the
 // default runs the paper's sizes (the Triangle figure alone simulates
 // over a million RPCs per configuration and takes minutes).
@@ -28,10 +42,21 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
+
+// subcommands lists everything the command line accepts, for the
+// unknown-name diagnostic.
+var subcommands = []string{
+	"table1", "bulk", "abortcost", "fig1", "fig2", "table2", "fig3", "fig4",
+	"table3", "ablation", "appablation", "schedpolicy", "budget", "buffering",
+	"interrupts", "sorsizes", "chaos", "bench", "micro", "all",
+	"trace", "metrics",
+}
 
 func main() {
 	os.Exit(realMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -87,6 +112,12 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"all"}
+	}
+
+	// trace/metrics are observed single-app runs with their own flags;
+	// they consume the rest of the command line.
+	if names[0] == "trace" || names[0] == "metrics" {
+		return runObserve(names[0], names[1:], *quick, stdout, stderr)
 	}
 
 	code := 0
@@ -187,7 +218,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			emit(exp.ChaosTable(scale))
 			emit(exp.ChaosNodeTable(scale))
 		default:
-			fmt.Fprintf(stderr, "oamlab: unknown experiment %q\n", name)
+			fmt.Fprintf(stderr, "oamlab: unknown experiment %q (subcommands: %s)\n",
+				name, strings.Join(subcommands, ", "))
 			code = 2
 			return
 		}
@@ -198,6 +230,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	for _, name := range names {
 		switch name {
+		case "trace", "metrics":
+			fmt.Fprintf(stderr, "oamlab: %s must be the first argument\n", name)
+			return 2
 		case "all":
 			for _, n := range []string{"table1", "bulk", "abortcost", "fig1", "fig2",
 				"table2", "fig3", "fig4", "table3", "ablation", "appablation",
@@ -214,4 +249,78 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return code
+}
+
+// runObserve implements the trace and metrics subcommands: run one
+// application with an obs.Collector attached and write the selected
+// sink.
+func runObserve(kind string, args []string, quick bool, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("oamlab "+kind, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	p := fs.Int("p", 8, "machine size (processors)")
+	sysName := fs.String("sys", "orpc", "communication system: am, orpc, trpc")
+	out := fs.String("o", "", "trace: output file (default trace_<app>.json)")
+	top := fs.Int("top", 30, "metrics: profile rows to print (0 = all)")
+	if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+		fmt.Fprintf(stderr, "oamlab: usage: oamlab [-quick] %s <app> [flags]; apps: %s\n",
+			kind, strings.Join(exp.ObservedApps(), ", "))
+		return 2
+	}
+	app := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	sys, err := exp.ParseSystem(*sysName)
+	if err != nil {
+		fmt.Fprintf(stderr, "oamlab: %v\n", err)
+		return 2
+	}
+
+	opts := obs.Options{Trace: kind == "trace"}
+	if kind == "metrics" {
+		opts.Metrics = true
+		opts.Profile = true
+	}
+	start := time.Now()
+	c, res, err := exp.RunObserved(exp.ObserveSpec{App: app, Sys: sys, Nodes: *p, Quick: quick}, opts)
+	if err != nil {
+		fmt.Fprintf(stderr, "oamlab: %s: %v\n", kind, err)
+		return 1
+	}
+
+	switch kind {
+	case "trace":
+		path := *out
+		if path == "" {
+			path = "trace_" + app + ".json"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "oamlab: trace: %v\n", err)
+			return 1
+		}
+		werr := c.WriteTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "oamlab: trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stderr, "[trace of %s/%v on %d nodes written to %s — open in https://ui.perfetto.dev]\n",
+			app, res.System, res.Nodes, path)
+	case "metrics":
+		if err := c.WriteMetrics(stdout); err != nil {
+			fmt.Fprintf(stderr, "oamlab: metrics: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+		if err := c.WriteProfile(stdout, *top); err != nil {
+			fmt.Fprintf(stderr, "oamlab: metrics: %v\n", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stderr, "[%s %s done in %v: %v on %d nodes ran %s of virtual time]\n",
+		kind, app, time.Since(start).Round(time.Millisecond), res.System, res.Nodes, res.Elapsed)
+	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,6 +76,76 @@ func TestSmokeUnknownExperiment(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), `unknown experiment "nosuch"`) {
+		t.Errorf("missing diagnostic:\n%s", errb.String())
+	}
+}
+
+// TestUnknownListsSubcommands: the unknown-name diagnostic names every
+// registered subcommand (including trace and metrics) so a typo is
+// self-correcting.
+func TestUnknownListsSubcommands(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	diag := errb.String()
+	for _, name := range subcommands {
+		if !strings.Contains(diag, name) {
+			t.Errorf("diagnostic does not list subcommand %q:\n%s", name, diag)
+		}
+	}
+}
+
+// TestSmokeTrace: the trace subcommand writes a valid Chrome trace-event
+// JSON file with events for every node.
+func TestSmokeTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-quick", "trace", "tsp", "-p", "4", "-o", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if !strings.Contains(errb.String(), "perfetto") {
+		t.Errorf("missing Perfetto pointer:\n%s", errb.String())
+	}
+}
+
+// TestSmokeMetrics: the metrics subcommand prints the instrument
+// registry and the virtual-time profile.
+func TestSmokeMetrics(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := realMain([]string{"-quick", "metrics", "triangle", "-p", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"counter am/handlers_run", "gauge", "hist", "virtual CPU profile:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestObserveBadApp: trace with a bogus app fails with a diagnostic.
+func TestObserveBadApp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"trace", "nosuch"}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), `unknown app "nosuch"`) {
 		t.Errorf("missing diagnostic:\n%s", errb.String())
 	}
 }

@@ -52,7 +52,23 @@ type Universe struct {
 	names     []string
 	stats     Stats
 	transport Transport
+	probe     Probe
 }
+
+// Probe observes handler dispatch. Probes are pure observers — they must
+// not schedule events or charge virtual time; the hooks are skipped when
+// no probe is installed, keeping the disabled path allocation-free.
+type Probe interface {
+	// HandlerStart fires after the dispatch overhead is charged, just
+	// before the handler body runs; depth is the nesting level (1 = not
+	// nested inside another handler).
+	HandlerStart(t sim.Time, node int, h HandlerID, depth int)
+	// HandlerEnd fires when the handler body returns.
+	HandlerEnd(t sim.Time, node int, h HandlerID, depth int)
+}
+
+// SetProbe installs a dispatch probe; pass nil to disable.
+func (u *Universe) SetProbe(p Probe) { u.probe = p }
 
 // NewUniverse builds an n-node machine with schedulers and Active Message
 // endpoints installed on every node.
@@ -267,9 +283,15 @@ func (ep *Endpoint) dispatch(c threads.Ctx, pkt *cm5.Packet) {
 	c.P.Charge(ep.u.m.Cost().HandlerDispatch)
 	ep.u.stats.HandlersRun++
 	start := c.P.Now()
+	if ep.u.probe != nil {
+		ep.u.probe.HandlerStart(start, ep.node.ID(), HandlerID(pkt.Handler), ep.depth)
+	}
 	h(hc, pkt)
 	// Nested dispatches (drains inside sends) double-count into their
 	// enclosing handler's window; MaxDepth reports when that happens.
 	ep.u.stats.HandlerTime += c.P.Now().Sub(start)
+	if ep.u.probe != nil {
+		ep.u.probe.HandlerEnd(c.P.Now(), ep.node.ID(), HandlerID(pkt.Handler), ep.depth)
+	}
 	ep.depth--
 }

@@ -117,6 +117,7 @@ func run(sys apps.System, nodes int, cfg Config, senderSpecified bool) (apps.Res
 	var waitRow func(c threads.Ctx, me int, side int32, ghost []float64)
 	var oams, successes func() uint64
 
+	var rtForObs *rpc.Runtime
 	switch sys {
 	case apps.AM:
 		// Hand-coded: sender-specified destination; the handler deposits
@@ -158,6 +159,7 @@ func run(sys apps.System, nodes int, cfg Config, senderSpecified bool) (apps.Res
 			mode = rpc.TRPC
 		}
 		rt := rpc.New(u, rpc.Options{Mode: mode})
+		rtForObs = rt
 		store := sorgen.DefineStore(rt, func(e *oam.Env, caller int, side int32, row []float64) {
 			ns := states[e.Node()]
 			e.Lock(ns.mu)
@@ -204,6 +206,9 @@ func run(sys apps.System, nodes int, cfg Config, senderSpecified bool) (apps.Res
 		return apps.Result{}, fmt.Errorf("sor: unknown system %v", sys)
 	}
 
+	if cfg.Observe != nil {
+		cfg.Observe(u, rtForObs)
+	}
 	iters := make([]int, nodes)
 	elapsed, err := u.SPMD(func(c threads.Ctx, me int) {
 		ns := states[me]

@@ -11,6 +11,8 @@ package sor
 import (
 	"math"
 
+	"repro/internal/am"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 )
 
@@ -36,6 +38,10 @@ type Config struct {
 	Iters      int     // iteration cap
 	Eps        float64 // convergence threshold on the max update delta
 	Seed       int64
+	// Observe, if non-nil, is called once the universe (and, for the RPC
+	// variants, the runtime — nil under AM) is built but before the SPMD
+	// program starts, so an observer can attach its probes.
+	Observe func(*am.Universe, *rpc.Runtime)
 }
 
 // DefaultConfig returns the paper's problem size.

@@ -42,6 +42,10 @@ type Config struct {
 	Fault *cm5.FaultPlan
 	// Reliable, if non-nil, attaches the reliable transport.
 	Reliable *reliable.Options
+	// Observe, if non-nil, is called once the universe (and, for the RPC
+	// variants, the runtime — nil under AM) is built but before the SPMD
+	// program starts, so an observer can attach its probes.
+	Observe func(*am.Universe, *rpc.Runtime)
 }
 
 func (c *Config) board() *Board {
@@ -124,6 +128,7 @@ func Run(sys apps.System, nodes int, cfg Config) (apps.Result, error) {
 	var sendInsert func(c threads.Ctx, me, dst int, s State, ways uint64)
 	var oams, successes func() uint64
 
+	var rtForObs *rpc.Runtime
 	switch sys {
 	case apps.AM:
 		// Hand-coded Active Messages: the state and ways travel in the
@@ -149,6 +154,7 @@ func Run(sys apps.System, nodes int, cfg Config) (apps.Result, error) {
 			mode = rpc.TRPC
 		}
 		rt := rpc.New(u, rpc.Options{Mode: mode, OAM: oam.Options{Strategy: cfg.Strategy}})
+		rtForObs = rt
 		insert := trigen.DefineInsert(rt, func(e *oam.Env, caller int, state, ways uint64) {
 			ns := states[e.Node()]
 			e.Lock(ns.mu)
@@ -171,6 +177,9 @@ func Run(sys apps.System, nodes int, cfg Config) (apps.Result, error) {
 	start := b.Canon(b.Start())
 	states[owner(start, nodes)].frontier = []entry{{s: start, ways: 1}}
 
+	if cfg.Observe != nil {
+		cfg.Observe(u, rtForObs)
+	}
 	elapsed, err := u.SPMD(func(c threads.Ctx, me int) {
 		ns := states[me]
 		ep := u.Endpoint(me)

@@ -41,6 +41,10 @@ type Config struct {
 	// Reliable, if non-nil, attaches the reliable transport with these
 	// options so every message survives loss via ack/retransmit.
 	Reliable *reliable.Options
+	// Observe, if non-nil, is called once the universe (and, for the RPC
+	// variants, the runtime — nil under AM) is built but before the SPMD
+	// program starts, so an observer can attach its probes.
+	Observe func(*am.Universe, *rpc.Runtime)
 }
 
 // SeqTime returns the simulated sequential running time implied by the
@@ -96,6 +100,7 @@ func Run(sys apps.System, slaves int, cfg Config) (apps.Result, error) {
 	// polling, which is what makes GetJob contend at high slave counts.
 	var masterGenerate func(c threads.Ctx)
 
+	var rtForObs *rpc.Runtime
 	switch sys {
 	case apps.AM:
 		var replyH am.HandlerID
@@ -167,6 +172,7 @@ func Run(sys apps.System, slaves int, cfg Config) (apps.Result, error) {
 			mode = rpc.TRPC
 		}
 		rt := rpc.New(u, rpc.Options{Mode: mode, OAM: oam.Options{Strategy: cfg.Strategy}})
+		rtForObs = rt
 		getJob := tspgen.DefineGetJob(rt, func(e *oam.Env, caller int) ([]byte, bool) {
 			e.Lock(qmu)
 			e.Await(qcv, func() bool { return head < len(queue) || done })
@@ -219,6 +225,9 @@ func Run(sys apps.System, slaves int, cfg Config) (apps.Result, error) {
 		return apps.Result{}, fmt.Errorf("tsp: unknown system %v", sys)
 	}
 
+	if cfg.Observe != nil {
+		cfg.Observe(u, rtForObs)
+	}
 	elapsed, err := u.SPMD(func(c threads.Ctx, me int) {
 		if me == 0 {
 			masterGenerate(c)

@@ -143,6 +143,7 @@ func Run(sys apps.System, nodes int, useBarrier bool, cfg Config) (apps.Result, 
 		}
 	}
 
+	var rtForObs *rpc.Runtime
 	switch sys {
 	case apps.AM:
 		// Hand-coded: data deposited straight into application arrays;
@@ -198,6 +199,7 @@ func Run(sys apps.System, nodes int, useBarrier bool, cfg Config) (apps.Result, 
 			mode = rpc.TRPC
 		}
 		rt := rpc.New(u, rpc.Options{Mode: mode})
+		rtForObs = rt
 		store := func(e *oam.Env, sl *slot, ns *nodeState, row []float64) {
 			e.Lock(ns.mu)
 			e.Await(sl.notFull, func() bool { return !sl.full })
@@ -255,6 +257,9 @@ func Run(sys apps.System, nodes int, useBarrier bool, cfg Config) (apps.Result, 
 		return apps.Result{}, fmt.Errorf("water: unknown system %v", sys)
 	}
 
+	if cfg.Observe != nil {
+		cfg.Observe(u, rtForObs)
+	}
 	topo := updTopology(cfg.Mols, nodes)
 	elapsed, err := u.SPMD(func(c threads.Ctx, me int) {
 		ns := states[me]

@@ -20,6 +20,8 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/am"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 )
 
@@ -39,6 +41,10 @@ type Config struct {
 	Mols  int
 	Iters int
 	Seed  int64
+	// Observe, if non-nil, is called once the universe (and, for the RPC
+	// variants, the runtime — nil under AM) is built but before the SPMD
+	// program starts, so an observer can attach its probes.
+	Observe func(*am.Universe, *rpc.Runtime)
 }
 
 // DefaultConfig returns the paper's problem size.

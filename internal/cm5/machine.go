@@ -17,6 +17,7 @@ type Machine struct {
 	ctl   *controlNetwork
 	stats NetStats
 	fault *faultState // nil = perfect network (the default)
+	probe Probe       // nil = no observer (the default, allocation-free)
 
 	// Hot-path free lists (the machine is as single-threaded as its
 	// engine, so neither needs locking).
@@ -32,6 +33,30 @@ type NetStats struct {
 	FullRejects  uint64 // TryInject calls rejected because the NIC was full
 	MaxQueueSeen int    // high-water mark across all NIC input queues
 }
+
+// Probe observes data-network traffic: injections, wire flights, losses,
+// deliveries, and backpressure. Probes are pure observers — they must not
+// schedule events or charge virtual time. All hooks run only when a probe
+// is installed, so the disabled path stays allocation-free.
+type Probe interface {
+	// PacketSent fires at injection time, before the sender is charged:
+	// the sender's CPU is busy for busy, then the packet flies for wire.
+	// When the network forged a duplicate, dup is true and the copy's own
+	// flight takes dupWire.
+	PacketSent(t sim.Time, pkt *Packet, busy, wire sim.Duration, dup bool, dupWire sim.Duration)
+	// PacketLost fires when the network eats a packet (drop, partition,
+	// blackhole at send time, or a late drop into a crashed receiver).
+	PacketLost(t sim.Time, src, dst int, kind FaultKind)
+	// PacketDelivered fires when a packet lands in dst's input queue;
+	// queueDepth is the queue occupancy after the delivery.
+	PacketDelivered(t sim.Time, pkt *Packet, queueDepth int)
+	// Backpressure fires when TryInject refuses a send because the
+	// destination NIC is full.
+	Backpressure(t sim.Time, src, dst int)
+}
+
+// SetProbe installs a traffic probe; pass nil to disable.
+func (m *Machine) SetProbe(p Probe) { m.probe = p }
 
 // NewMachine creates a machine with n nodes.
 func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
@@ -136,12 +161,18 @@ func (m *Machine) completeDelivery(pkt *Packet) {
 		f.stats.LateDrops++
 		f.perNode[pkt.Dst].Blackholed++
 		f.record(FaultEvent{T: m.eng.Now(), Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
+		if m.probe != nil {
+			m.probe.PacketLost(m.eng.Now(), pkt.Src, pkt.Dst, FaultLateDrop)
+		}
 		m.ReleasePacket(pkt)
 		return
 	}
 	dst.nic.deliver(pkt)
 	if q := dst.nic.pending(); q > m.stats.MaxQueueSeen {
 		m.stats.MaxQueueSeen = q
+	}
+	if m.probe != nil {
+		m.probe.PacketDelivered(m.eng.Now(), pkt, dst.nic.pending())
 	}
 	if dst.wake != nil {
 		dst.wake()
@@ -213,6 +244,9 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 	}
 	if !lost && dst.nic.full() {
 		n.m.stats.FullRejects++
+		if n.m.probe != nil {
+			n.m.probe.Backpressure(now, pkt.Src, pkt.Dst)
+		}
 		return false
 	}
 	cost := &n.m.cost
@@ -251,6 +285,9 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			f.perNode[pkt.Src].Dropped++
 		}
 		f.record(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
+		if n.m.probe != nil {
+			n.m.probe.PacketLost(now, pkt.Src, pkt.Dst, lossKind)
+		}
 		n.m.ReleasePacket(pkt) // died in the network: nobody will deliver it
 		p.Charge(busy)
 		return true
@@ -286,6 +323,9 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 	// The sender's CPU is busy for the injection; the packet leaves at the
 	// end of that window and lands WireLatency later. The flight is a
 	// pooled typed event, not a closure: nothing on this path allocates.
+	if n.m.probe != nil {
+		n.m.probe.PacketSent(now, pkt, busy, wire, dup, dupWire)
+	}
 	p.Charge(busy)
 	eng.AfterAction(wire, n.m.newDelivery(pkt))
 	if dup {

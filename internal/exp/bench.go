@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/am"
 	"repro/internal/cm5"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/threads"
 )
@@ -55,9 +56,14 @@ type BenchResult struct {
 	// Warning flags a report whose seq-vs-par comparison is meaningless
 	// (GOMAXPROCS=1 serializes the parallel pass); consumers should not
 	// read Speedup as a parallelism regression then.
-	Warning     string      `json:"warning,omitempty"`
-	Kernel      KernelBench `json:"kernel"`
-	Experiments []ExpBench  `json:"experiments"`
+	Warning string      `json:"warning,omitempty"`
+	Kernel  KernelBench `json:"kernel"`
+	// KernelObserved repeats the storm with a live obs metrics sink
+	// attached to every layer; ObsOverheadPct is the per-event host-time
+	// cost of that instrumentation relative to the uninstrumented pass.
+	KernelObserved KernelBench `json:"kernel_observed"`
+	ObsOverheadPct float64     `json:"obs_overhead_pct"`
+	Experiments    []ExpBench  `json:"experiments"`
 	SeqMsTotal  float64     `json:"seq_ms_total"`
 	ParMsTotal  float64     `json:"par_ms_total"`
 	Speedup     float64     `json:"speedup"`
@@ -67,9 +73,26 @@ type BenchResult struct {
 // event/packet pools, then packets more through the NIC with allocation
 // accounting on. It is also used by the allocation-budget tests.
 func KernelStorm(warmup, packets int) KernelBench {
+	return kernelStorm(warmup, packets, nil)
+}
+
+// KernelStormObserved runs the same storm with a live obs metrics sink
+// attached to every layer, measuring what instrumentation costs when it
+// is actually on (the off case is KernelStorm: probes stay nil and the
+// hot path never branches into the collector).
+func KernelStormObserved(warmup, packets int) (KernelBench, *obs.Collector) {
+	c := obs.New(obs.Options{Metrics: true})
+	kb := kernelStorm(warmup, packets, func(u *am.Universe) { c.Attach(u, nil) })
+	return kb, c
+}
+
+func kernelStorm(warmup, packets int, observe func(*am.Universe)) KernelBench {
 	eng := sim.New(1)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	if observe != nil {
+		observe(u)
+	}
 	received := 0
 	h := u.Register("sink", func(c threads.Ctx, pkt *cm5.Packet) { received++ })
 	var m0, m1 runtime.MemStats
@@ -168,6 +191,10 @@ func Bench(scale Scale) (*BenchResult, error) {
 		Quick:      scale.Quick,
 		Kernel:     KernelStorm(warmup, packets),
 	}
+	res.KernelObserved, _ = KernelStormObserved(warmup, packets)
+	if res.Kernel.NsPerEvent > 0 {
+		res.ObsOverheadPct = 100 * (res.KernelObserved.NsPerEvent/res.Kernel.NsPerEvent - 1)
+	}
 	if res.GOMAXPROCS == 1 {
 		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par speedup does not measure harness parallelism"
 	}
@@ -217,6 +244,8 @@ func (r *BenchResult) Table() *Table {
 		Columns: []string{"Experiment", "Seq(ms)", "Par(ms)", "Speedup"},
 		Notes: []string{
 			"virtual results are byte-identical at any worker count; only wall time changes",
+			fmt.Sprintf("live obs metrics sink: %.0f ns/event (%+.1f%% vs disabled, %.3f allocs/packet)",
+				r.KernelObserved.NsPerEvent, r.ObsOverheadPct, r.KernelObserved.AllocsPerPacket),
 		},
 	}
 	if r.Warning != "" {

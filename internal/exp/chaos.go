@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/apps"
 	"repro/internal/apps/triangle"
@@ -17,6 +18,7 @@ type ChaosRow struct {
 	App            string
 	DropPct        float64
 	Crashes        int
+	Partitioned    int // slaves cut off for the whole run
 	Elapsed        sim.Duration
 	Dropped        uint64 // packets the network lost (all loss kinds)
 	Duplicated     uint64
@@ -63,6 +65,7 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		tri     bool
 		drop    float64
 		crashes int
+		part    bool // permanently partition the last slave
 	}
 	var jobs []job
 	for _, drop := range drops {
@@ -77,6 +80,11 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 			jobs = append(jobs, job{drop: drop, crashes: crashes})
 		}
 	}
+	// The MaxAttempts-exhausted path: one slave unreachable for the whole
+	// run (every link to and from it blackholed). Its calls time out, every
+	// reliable message toward it is abandoned after MaxAttempts, and the
+	// remaining slaves finish the search — bounded degradation, not a hang.
+	jobs = append(jobs, job{part: true})
 
 	triWant := triCfg.BoardCounts().Solutions
 	tspWant := uint64(tsp.NewProblem(tspCities, 12).SolveSeq().Best)
@@ -107,13 +115,21 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		if j.crashes == 1 {
 			plan.Crashes = []cm5.Crash{{Node: tspSlaves, At: crashAt}}
 		}
+		part := 0
+		if j.part {
+			part = 1
+			plan = &cm5.FaultPlan{Seed: 63, Partitions: []cm5.Partition{
+				{Src: -1, Dst: tspSlaves, From: 0, To: sim.Time(math.MaxInt64)},
+				{Src: tspSlaves, Dst: -1, From: 0, To: sim.Time(math.MaxInt64)},
+			}}
+		}
 		cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Fault: plan}
 		res, st, err := tsp.RunChaos(tspSlaves, cfg)
 		if err != nil {
-			return fmt.Errorf("chaos tsp drop=%g crashes=%d: %w", j.drop, j.crashes, err)
+			return fmt.Errorf("chaos tsp drop=%g crashes=%d part=%d: %w", j.drop, j.crashes, part, err)
 		}
 		rows[i] = ChaosRow{
-			App: "tsp", DropPct: j.drop * 100, Crashes: j.crashes,
+			App: "tsp", DropPct: j.drop * 100, Crashes: j.crashes, Partitioned: part,
 			Elapsed: res.Elapsed,
 			Dropped: st.Fault.Lost(), Duplicated: st.Fault.Duplicated,
 			Retransmits: st.Rel.Retransmits, DupsSuppressed: st.Rel.DupsSuppressed,
@@ -138,11 +154,12 @@ func ChaosTable(scale Scale) (*Table, error) {
 	}
 	t := &Table{
 		Title: "Chaos sweep: drop rate x crashes, answers checked against the sequential reference",
-		Columns: []string{"App", "Drop%", "Crashes", "Elapsed(ms)", "Lost",
+		Columns: []string{"App", "Drop%", "Crashes", "Part", "Elapsed(ms)", "Lost",
 			"Dup'd", "Retx", "DupSupp", "GaveUp", "Reissued", "Timeouts", "Succ%", "OK"},
 		Notes: []string{
 			"dup rate is half the drop rate; triangle rows are loss-only (no crash recovery)",
 			"tsp crash rows kill one slave mid-run; the master's lease watchdog re-issues its jobs",
+			"the Part row cuts one slave off entirely: senders exhaust MaxAttempts and give up",
 		},
 	}
 	for _, r := range rows {
@@ -151,7 +168,7 @@ func ChaosTable(scale Scale) (*Table, error) {
 			ok = "NO"
 		}
 		t.Rows = append(t.Rows, []string{
-			r.App, f1(r.DropPct), itoa(r.Crashes),
+			r.App, f1(r.DropPct), itoa(r.Crashes), itoa(r.Partitioned),
 			fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6),
 			u64(r.Dropped), u64(r.Duplicated), u64(r.Retransmits),
 			u64(r.DupsSuppressed), u64(r.GaveUp), u64(r.Reissued),

@@ -10,14 +10,16 @@ func TestChaosQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 11 {
-		t.Fatalf("rows = %d, want 11", len(rows))
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
 	}
 	for _, r := range rows {
 		if !r.OK {
 			t.Errorf("%s drop=%.0f%% crashes=%d: wrong answer", r.App, r.DropPct, r.Crashes)
 		}
-		if r.GaveUp != 0 {
+		// Only the partitioned row may abandon messages: its unreachable
+		// slave exhausts MaxAttempts by design (TestChaosPartitionRow).
+		if r.GaveUp != 0 && r.Partitioned == 0 {
 			t.Errorf("%s drop=%.0f%% crashes=%d: reliable channel gave up %d times",
 				r.App, r.DropPct, r.Crashes, r.GaveUp)
 		}

@@ -13,6 +13,39 @@ var chaosGoldenHashes = []uint64{
 	0x65595602f4e15059, 0x97610ea4b5f84710, 0xe41e5bca2c5c1758,
 	0xc437904a618d42b4, 0xa1bbc8bb4db2cb22, 0xe8858455bac5cc8a,
 	0xdc018251e5f87248,
+	// The permanently-partitioned-slave row (appended with the
+	// MaxAttempts-exhausted coverage; recorded at introduction).
+	0x9e9f6e023b444713,
+}
+
+// TestChaosPartitionRow checks the MaxAttempts-exhausted coverage: the
+// sweep's final row cuts one slave off completely, and the run ends with
+// abandoned messages and call timeouts instead of a hang — with the
+// answer still exact, computed by the remaining slaves.
+func TestChaosPartitionRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep simulates several lossy runs")
+	}
+	rows, err := Chaos(Scale{Quick: true})
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
+	last := rows[len(rows)-1]
+	if last.Partitioned != 1 {
+		t.Fatalf("last row is not the partition row: %+v", last)
+	}
+	if !last.OK {
+		t.Errorf("partition row answer wrong: %+v", last)
+	}
+	if last.GaveUp == 0 {
+		t.Errorf("no messages exhausted MaxAttempts: %+v", last)
+	}
+	if last.Timeouts == 0 {
+		t.Errorf("partitioned slave's calls never timed out: %+v", last)
+	}
+	if last.Dropped == 0 {
+		t.Errorf("partition dropped nothing: %+v", last)
+	}
 }
 
 // TestChaosFaultHashGolden pins the quick chaos sweep's fault traces

@@ -86,7 +86,23 @@ func (s *Stats) SuccessPercent() float64 {
 type Dispatcher struct {
 	opts  Options
 	stats Stats
+	probe Probe
 }
+
+// Probe observes optimistic dispatches. Probes are pure observers — they
+// must not schedule events or charge virtual time; hooks are skipped when
+// no probe is installed.
+type Probe interface {
+	// Attempt fires when an optimistic dispatch begins on node.
+	Attempt(t sim.Time, node int, name string, strategy Strategy)
+	// Settled fires when the dispatch outcome is known on the polling
+	// context: completed inline, promoted to a thread (reason says why),
+	// or nacked back to the sender.
+	Settled(t sim.Time, node int, name string, outcome Outcome, reason Reason, strategy Strategy)
+}
+
+// SetProbe installs a dispatch probe; pass nil to disable.
+func (d *Dispatcher) SetProbe(p Probe) { d.probe = p }
 
 // NewDispatcher returns a dispatcher with the given options.
 func NewDispatcher(opts Options) *Dispatcher { return &Dispatcher{opts: opts} }
@@ -114,6 +130,9 @@ func NewThreadEnv(c threads.Ctx, ep *am.Endpoint, d *Dispatcher) *Env {
 // as a thread without re-execution.
 func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(*Env)) (Outcome, Reason) {
 	d.stats.Total++
+	if d.probe != nil {
+		d.probe.Attempt(c.P.Now(), ep.Node().ID(), name, d.opts.Strategy)
+	}
 	if d.opts.Strategy == Continuation {
 		return d.runLent(c, ep, name, body)
 	}
@@ -122,12 +141,14 @@ func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(
 	if !aborted {
 		env.commit()
 		d.stats.Succeeded++
+		d.settle(c, ep, name, Completed, 0)
 		return Completed, 0
 	}
 	env.undo()
 	d.stats.ByReason[reason]++
 	if d.opts.Strategy == Nack {
 		d.stats.Nacked++
+		d.settle(c, ep, name, NackNeeded, reason)
 		return NackNeeded, reason
 	}
 	// Rerun: undo everything and run the whole procedure as a thread.
@@ -136,7 +157,15 @@ func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(
 		env2 := &Env{C: c2, ep: ep, d: d, optimistic: false, name: name}
 		body(env2)
 	})
+	d.settle(c, ep, name, Promoted, reason)
 	return Promoted, reason
+}
+
+// settle reports a resolved dispatch to the probe, if any.
+func (d *Dispatcher) settle(c threads.Ctx, ep *am.Endpoint, name string, o Outcome, r Reason) {
+	if d.probe != nil {
+		d.probe.Settled(c.P.Now(), ep.Node().ID(), name, o, r, d.opts.Strategy)
+	}
 }
 
 // attempt runs body optimistically, converting an abort unwind into a
@@ -196,5 +225,6 @@ func (d *Dispatcher) runLent(c threads.Ctx, ep *am.Endpoint, name string, body f
 	if !settled {
 		panic("oam: lent execution returned control without settling")
 	}
+	d.settle(c, ep, name, outcome, reason)
 	return outcome, reason
 }

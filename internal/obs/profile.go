@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Profile attributes virtual CPU time to procedure names: a sampling
+// profiler whose "samples" are exact — every completed charge is
+// attributed in full, so Total always equals the engine's own charged
+// total (the determinism test pins this to the microsecond).
+//
+// Names are normalized by stripping a trailing per-instance "/<digits>"
+// suffix ("idle/3" → "idle", "reliable/retx/0" → "reliable/retx") so the
+// table aggregates across nodes. Slash-separated prefixes form a
+// hierarchy for the cumulative column: time in "oam/GetJob" also counts
+// cumulatively toward "oam".
+type Profile struct {
+	flat  map[string]sim.Duration
+	total sim.Duration
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile {
+	return &Profile{flat: make(map[string]sim.Duration)}
+}
+
+// Add attributes d of virtual CPU to the procedure name (normalized).
+func (p *Profile) Add(name string, d sim.Duration) {
+	p.flat[normalizeProcName(name)] += d
+	p.total += d
+}
+
+// Total returns the total attributed virtual CPU time.
+func (p *Profile) Total() sim.Duration { return p.total }
+
+// normalizeProcName strips one trailing "/<digits>" instance suffix.
+func normalizeProcName(name string) string {
+	i := len(name)
+	for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+		i--
+	}
+	if i > 1 && i < len(name) && name[i-1] == '/' {
+		return name[:i-1]
+	}
+	return name
+}
+
+// profRow is one rendered profile line.
+type profRow struct {
+	name      string
+	flat, cum sim.Duration
+}
+
+// rows computes flat and cumulative time per name, including pure-prefix
+// names that only appear as hierarchy parents, sorted by flat time
+// descending (ties by name) — the pprof "flat" ordering.
+func (p *Profile) rows() []profRow {
+	cum := make(map[string]sim.Duration, len(p.flat))
+	for name, d := range p.flat {
+		cum[name] += d
+		for i, ch := range name {
+			if ch == '/' {
+				cum[name[:i]] += d
+			}
+		}
+	}
+	rows := make([]profRow, 0, len(cum))
+	for name, c := range cum {
+		rows = append(rows, profRow{name: name, flat: p.flat[name], cum: c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].flat != rows[j].flat {
+			return rows[i].flat > rows[j].flat
+		}
+		return rows[i].name < rows[j].name
+	})
+	return rows
+}
+
+// Write renders a pprof-style flat/cum table of the top n procedures (all
+// of them when n <= 0). Percentages use integer tenths so the text is
+// byte-identical across hosts. It returns the first write error.
+func (p *Profile) Write(w io.Writer, n int) error {
+	rows := p.rows()
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("virtual CPU profile: %s total\n", fmtDur(p.total))
+	pf("%14s %6s %14s %6s  %s\n", "flat", "flat%", "cum", "cum%", "procedure")
+	for _, r := range rows {
+		pf("%14s %6s %14s %6s  %s\n",
+			fmtDur(r.flat), pct(r.flat, p.total), fmtDur(r.cum), pct(r.cum, p.total), r.name)
+	}
+	return err
+}
+
+// pct renders part/total as a percentage with one decimal, in pure
+// integer arithmetic (round half up).
+func pct(part, total sim.Duration) string {
+	if total <= 0 {
+		return "0.0%"
+	}
+	tenths := (int64(part)*1000 + int64(total)/2) / int64(total)
+	return fmt.Sprintf("%d.%d%%", tenths/10, tenths%10)
+}

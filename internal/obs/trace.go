@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// traceBuilder accumulates Chrome trace-event JSON (the format Perfetto
+// and chrome://tracing load). One process (pid) per node, with a fixed
+// set of named thread tracks per node; events are appended in the order
+// the kernel produced them, which is deterministic for a given seed, and
+// all numbers are rendered with integer arithmetic — so the final JSON is
+// byte-identical run to run.
+type traceBuilder struct {
+	meta   bytes.Buffer // metadata ("M") events, emitted at attach time
+	events bytes.Buffer // everything else, in kernel order
+}
+
+// The per-node thread tracks. Chrome trace "tid"s are just track keys;
+// thread_name metadata gives them human names.
+const (
+	tidCPU     = 1 // virtual-CPU burn spans, one per completed charge
+	tidHandler = 2 // Active Message handler runs
+	tidOAM     = 3 // optimistic dispatches and aborts
+	tidRPC     = 4 // client-side call lifecycles
+	tidNet     = 5 // packet flights, losses, backpressure
+	tidThreads = 6 // thread lifetimes
+)
+
+var tidNames = [...]struct {
+	tid  int
+	name string
+}{
+	{tidCPU, "cpu"},
+	{tidHandler, "handlers"},
+	{tidOAM, "oam"},
+	{tidRPC, "rpc"},
+	{tidNet, "net"},
+	{tidThreads, "threads"},
+}
+
+// tsStr renders a virtual timestamp as fractional microseconds (the
+// trace-event unit) using integer arithmetic only.
+func tsStr(t sim.Time) string {
+	ns := int64(t)
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}
+
+// durStr renders a duration in the same fixed-point microsecond form.
+func durStr(d sim.Duration) string { return tsStr(sim.Time(d)) }
+
+// jsonString escapes s as a JSON string literal (without quotes). Names
+// here are short ASCII identifiers; the escape covers the general case
+// anyway.
+func jsonString(s string) string {
+	var b bytes.Buffer
+	for i := 0; i < len(s); i++ {
+		ch := s[i]
+		switch {
+		case ch == '"' || ch == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(ch)
+		case ch < 0x20:
+			fmt.Fprintf(&b, "\\u%04x", ch)
+		default:
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}
+
+// add begins one event object in buf, handling the separating comma.
+func (tb *traceBuilder) add(buf *bytes.Buffer) *bytes.Buffer {
+	if buf.Len() > 0 {
+		buf.WriteString(",\n")
+	}
+	return buf
+}
+
+// procMeta names a node's process track.
+func (tb *traceBuilder) procMeta(pid int, name string) {
+	fmt.Fprintf(tb.add(&tb.meta),
+		`{"name":"process_name","ph":"M","pid":%d,"args":{"name":"%s"}}`, pid, jsonString(name))
+}
+
+// threadMeta names one track of a node.
+func (tb *traceBuilder) threadMeta(pid, tid int, name string) {
+	fmt.Fprintf(tb.add(&tb.meta),
+		`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"%s"}}`,
+		pid, tid, jsonString(name))
+}
+
+// span emits a complete ("X") slice. args, when non-empty, must be a
+// complete JSON object literal.
+func (tb *traceBuilder) span(name, cat string, start sim.Time, dur sim.Duration, pid, tid int, args string) {
+	b := tb.add(&tb.events)
+	fmt.Fprintf(b, `{"name":"%s","cat":"%s","ph":"X","ts":%s,"dur":%s,"pid":%d,"tid":%d`,
+		jsonString(name), cat, tsStr(start), durStr(dur), pid, tid)
+	if args != "" {
+		fmt.Fprintf(b, `,"args":%s`, args)
+	}
+	b.WriteByte('}')
+}
+
+// instant emits an instant ("i") event.
+func (tb *traceBuilder) instant(name, cat string, t sim.Time, pid, tid int, args string) {
+	b := tb.add(&tb.events)
+	fmt.Fprintf(b, `{"name":"%s","cat":"%s","ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d`,
+		jsonString(name), cat, tsStr(t), pid, tid)
+	if args != "" {
+		fmt.Fprintf(b, `,"args":%s`, args)
+	}
+	b.WriteByte('}')
+}
+
+// asyncBegin/asyncEnd emit an async ("b"/"e") pair; events with the same
+// cat and id form one span, which may overlap others on the same track
+// (packet flights, thread lifetimes).
+func (tb *traceBuilder) asyncBegin(name, cat string, t sim.Time, pid, tid int, id uint64, args string) {
+	b := tb.add(&tb.events)
+	fmt.Fprintf(b, `{"name":"%s","cat":"%s","ph":"b","id":%d,"ts":%s,"pid":%d,"tid":%d`,
+		jsonString(name), cat, id, tsStr(t), pid, tid)
+	if args != "" {
+		fmt.Fprintf(b, `,"args":%s`, args)
+	}
+	b.WriteByte('}')
+}
+
+func (tb *traceBuilder) asyncEnd(name, cat string, t sim.Time, pid, tid int, id uint64) {
+	fmt.Fprintf(tb.add(&tb.events),
+		`{"name":"%s","cat":"%s","ph":"e","id":%d,"ts":%s,"pid":%d,"tid":%d}`,
+		jsonString(name), cat, id, tsStr(t), pid, tid)
+}
+
+// counter emits a counter ("C") sample; Perfetto renders these as a
+// per-process counter track.
+func (tb *traceBuilder) counter(name string, t sim.Time, pid int, value int64) {
+	fmt.Fprintf(tb.add(&tb.events),
+		`{"name":"%s","ph":"C","ts":%s,"pid":%d,"args":{"value":%d}}`,
+		jsonString(name), tsStr(t), pid, value)
+}
+
+// writeDoc assembles the final JSON document.
+func (tb *traceBuilder) writeDoc(w io.Writer) error {
+	var err error
+	write := func(s string) {
+		if err == nil {
+			_, err = io.WriteString(w, s)
+		}
+	}
+	write("{\"traceEvents\":[\n")
+	write(tb.meta.String())
+	if tb.meta.Len() > 0 && tb.events.Len() > 0 {
+		write(",\n")
+	}
+	write(tb.events.String())
+	write("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

@@ -151,6 +151,98 @@ func TestGiveUpOnCrashedReceiver(t *testing.T) {
 	}
 }
 
+// TestBackoffCapped checks that retransmit backoff doubles only up to
+// RTOMax: a sender facing a permanently partitioned peer gives up after
+// MaxAttempts in bounded virtual time, with the cap keeping the schedule
+// arithmetic (RTO + (MaxAttempts-1)·RTOMax) rather than geometric.
+func TestBackoffCapped(t *testing.T) {
+	opts := Options{RTO: sim.Micros(100), RTOMax: sim.Micros(200), MaxAttempts: 6}
+	eng := sim.New(4)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	// Link 0->1 drops everything forever: the ack can never arrive.
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{
+		Seed:       1,
+		Partitions: []cm5.Partition{{Src: 0, Dst: 1, From: 0, To: sim.Time(sim.Second)}},
+	})
+	tr := Attach(u, opts)
+	h := u.Register("nop", func(c threads.Ctx, pkt *cm5.Packet) {})
+	var sentAt sim.Time
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		if node != 0 {
+			return
+		}
+		sentAt = c.P.Now()
+		u.Endpoint(0).Send(c, 1, h, [4]uint64{42, 0, 0, 0}, nil)
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	// The give-up is the last scheduled work, so quiescence time is the
+	// give-up time.
+	gaveUpAt := eng.Now()
+	st := tr.Stats()
+	if st.GaveUp != 1 {
+		t.Fatalf("GaveUp = %d, want 1 (stats %+v)", st.GaveUp, st)
+	}
+	if want := uint64(opts.MaxAttempts - 1); st.Retransmits != want {
+		t.Fatalf("Retransmits = %d, want %d", st.Retransmits, want)
+	}
+	// Timer schedule: RTO fires the first retransmit; each of the
+	// remaining MaxAttempts-1 waits is capped at RTOMax (uncapped doubling
+	// would be 100+200+400+800+1600+3200 = 6.3ms). Allow slack for send
+	// costs and daemon scheduling, but stay well under the uncapped sum.
+	capped := sim.Duration(opts.RTO) + sim.Duration(opts.MaxAttempts-1)*opts.RTOMax
+	if d := gaveUpAt.Sub(sentAt); d < capped || d > capped+sim.Micros(100) {
+		t.Fatalf("gave up after %v, want about %v (capped backoff)", d, capped)
+	}
+}
+
+// TestPartitionGiveUpBounded: a message into a permanent partition does
+// not hang the simulation — MaxAttempts bounds it even at defaults, and
+// the rest of the traffic is unaffected.
+func TestPartitionGiveUpBounded(t *testing.T) {
+	eng := sim.New(5)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 3, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{
+		Seed:       2,
+		Partitions: []cm5.Partition{{Src: 0, Dst: 1, From: 0, To: sim.Time(sim.Second)}},
+	})
+	tr := Attach(u, Options{})
+	recvd := 0
+	h := u.Register("count", func(c threads.Ctx, pkt *cm5.Packet) { recvd++ })
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		switch node {
+		case 0:
+			ep.Send(c, 1, h, [4]uint64{1, 0, 0, 0}, nil) // into the partition
+			ep.Send(c, 2, h, [4]uint64{2, 0, 0, 0}, nil) // healthy link
+		case 2:
+			for recvd == 0 {
+				ep.Poll(c)
+				c.P.Charge(sim.Micros(2))
+				c.S.Yield(c)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	st := tr.Stats()
+	if st.GaveUp != 1 {
+		t.Fatalf("GaveUp = %d, want 1 (stats %+v)", st.GaveUp, st)
+	}
+	if recvd != 1 {
+		t.Fatalf("healthy link delivered %d messages, want 1", recvd)
+	}
+	// Default options: 150us RTO, 11 further attempts capped at 2.4ms each
+	// puts the give-up comfortably under 30ms of virtual time.
+	if end := eng.Now(); end > sim.Time(30*sim.Millisecond) {
+		t.Fatalf("simulation ran to %v, want bounded give-up", end)
+	}
+}
+
 // TestEnvelopeW2W3Panic documents the framing limit: messages already
 // using W2/W3 cannot ride the reliable channel.
 func TestEnvelopeW2W3Panic(t *testing.T) {

@@ -63,7 +63,26 @@ type Runtime struct {
 	nodes  []*nodeState
 	procs  []*Proc
 	stale  uint64 // replies/nacks for calls no longer in the table
+	probe  Probe
 }
+
+// Probe observes client-side call lifecycles. Probes are pure observers —
+// they must not schedule events or charge virtual time; hooks are skipped
+// when no probe is installed.
+type Probe interface {
+	// CallStart fires when a client begins a synchronous call (before the
+	// first request is injected) or fires an asynchronous one.
+	CallStart(t sim.Time, node int, proc string)
+	// CallEnd fires when the call resolves; timedOut reports a deadline
+	// expiry, retries how many nack retries the call absorbed.
+	CallEnd(t sim.Time, node int, proc string, timedOut bool, retries uint64)
+	// StaleReply fires when a reply or nack arrives for a call no longer
+	// waiting (deadline abandonment or duplicate delivery).
+	StaleReply(t sim.Time, node int)
+}
+
+// SetProbe installs a call probe; pass nil to disable.
+func (rt *Runtime) SetProbe(p Probe) { rt.probe = p }
 
 // nodeState is the client-side call table of one node.
 type nodeState struct {
@@ -123,6 +142,9 @@ func (rt *Runtime) handleReply(c threads.Ctx, pkt *cm5.Packet) {
 		// The caller gave up (deadline) or already completed: on a faulty
 		// network late replies are normal, not a protocol violation.
 		rt.stale++
+		if rt.probe != nil {
+			rt.probe.StaleReply(c.P.Now(), pkt.Dst)
+		}
 		return
 	}
 	cl.reply = pkt.Payload
@@ -134,6 +156,9 @@ func (rt *Runtime) handleNack(c threads.Ctx, pkt *cm5.Packet) {
 	cl, ok := ns.calls[pkt.W0]
 	if !ok || cl.flag.IsSet() {
 		rt.stale++
+		if rt.probe != nil {
+			rt.probe.StaleReply(c.P.Now(), pkt.Dst)
+		}
 		return
 	}
 	cl.nacked = true
@@ -275,6 +300,10 @@ func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
 	me := c.Node().ID()
 	ns := rt.nodes[me]
 	backoff := rt.opts.NackBackoffBase
+	if rt.probe != nil {
+		rt.probe.CallStart(c.P.Now(), me, p.name)
+	}
+	var retries uint64
 	for {
 		p.stats.Calls++
 		c.P.Charge(cost.StubClient)
@@ -286,10 +315,14 @@ func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
 		cl.flag.Wait(c)
 		delete(ns.calls, id)
 		if !cl.nacked {
+			if rt.probe != nil {
+				rt.probe.CallEnd(c.P.Now(), me, p.name, false, retries)
+			}
 			return cl.reply
 		}
 		// Nacked: back off (bounded exponential) and retry.
 		p.stats.Retries++
+		retries++
 		c.P.Charge(backoff)
 		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
 	}
@@ -332,6 +365,10 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 	ns := rt.nodes[me]
 	deadline := eng.Now().Add(timeout)
 	backoff := rt.opts.NackBackoffBase
+	if rt.probe != nil {
+		rt.probe.CallStart(c.P.Now(), me, p.name)
+	}
+	var retries uint64
 	for {
 		p.stats.Calls++
 		c.P.Charge(cost.StubClient)
@@ -351,16 +388,26 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 		delete(ns.calls, id)
 		if cl.timedOut {
 			p.stats.Timeouts++
+			if rt.probe != nil {
+				rt.probe.CallEnd(c.P.Now(), me, p.name, true, retries)
+			}
 			return nil, ErrDeadline
 		}
 		if !cl.nacked {
+			if rt.probe != nil {
+				rt.probe.CallEnd(c.P.Now(), me, p.name, false, retries)
+			}
 			return cl.reply, nil
 		}
 		p.stats.Retries++
+		retries++
 		c.P.Charge(backoff)
 		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
 		if eng.Now() >= deadline {
 			p.stats.Timeouts++
+			if rt.probe != nil {
+				rt.probe.CallEnd(c.P.Now(), me, p.name, true, retries)
+			}
 			return nil, ErrDeadline
 		}
 	}
@@ -392,8 +439,15 @@ func (p *Proc) CallAsync(c threads.Ctx, server int, arg []byte) {
 		panic(fmt.Sprintf("rpc: CallAsync of synchronous procedure %q", p.name))
 	}
 	p.stats.Calls++
+	me := c.Node().ID()
+	if p.rt.probe != nil {
+		p.rt.probe.CallStart(c.P.Now(), me, p.name)
+	}
 	c.P.Charge(p.rt.u.Machine().Cost().StubClient)
 	p.sendRequest(c, server, 0, arg)
+	if p.rt.probe != nil {
+		p.rt.probe.CallEnd(c.P.Now(), me, p.name, false, 0)
+	}
 }
 
 func (p *Proc) sendRequest(c threads.Ctx, server int, id uint64, arg []byte) {

@@ -52,6 +52,7 @@ type Engine struct {
 	deadline Time // event horizon of the current Run/RunUntil
 	rng      *rand.Rand
 	tracer   Tracer
+	probe    Probe
 	procs    []*Proc // live (spawned, not yet finished) processes, unordered
 	freeProc *Proc   // finished procs whose goroutine+channel await reuse
 	stopped  bool    // set by Stop
@@ -67,6 +68,9 @@ type Engine struct {
 	events     uint64
 	dispatches uint64
 	handoffs   uint64
+	// chargedTotal accumulates every completed virtual-CPU charge; the
+	// virtual-time profiler checks its totals against this.
+	chargedTotal Duration
 }
 
 // New returns an engine whose random source is seeded with seed.
@@ -87,6 +91,14 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // SetTracer installs a tracer; pass nil to disable tracing.
 func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// SetProbe installs a process-accounting probe; pass nil to disable.
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
+// Charged reports the total virtual CPU time consumed by completed
+// charges so far (Charge in full; ChargeInterruptible by the amount
+// actually burned before completion or interruption).
+func (e *Engine) Charged() Duration { return e.chargedTotal }
 
 // Events reports the number of events executed so far.
 func (e *Engine) Events() uint64 { return e.events }

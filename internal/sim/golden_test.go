@@ -116,7 +116,7 @@ const goldenTrace = `0.000us resume a
 func TestGoldenTraceText(t *testing.T) {
 	e := New(1)
 	var buf bytes.Buffer
-	e.SetTracer(WriterTracer{W: &buf})
+	e.SetTracer(NewWriterTracer(&buf))
 	var s *Proc
 	e.Spawn("a", func(p *Proc) {
 		p.Charge(Micros(1))

@@ -71,6 +71,9 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 	p.body = body
 	e.addProc(p)
 	e.atProc(e.now, p)
+	if e.probe != nil {
+		e.probe.Spawned(p)
+	}
 	return p
 }
 
@@ -163,6 +166,10 @@ func (p *Proc) Charge(d Duration) {
 	}
 	p.eng.checkRunning(p, "Charge")
 	e := p.eng
+	e.chargedTotal += d
+	if e.probe != nil {
+		e.probe.Charged(p, e.now, d)
+	}
 	e.atProc(e.now.Add(d), p)
 	e.yieldToKernel(p)
 }
@@ -190,11 +197,15 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 	ev := e.schedule(e.now.Add(d), evIntProc, nil, nil, p)
 	p.intTimer = Timer{ev: ev, gen: ev.gen}
 	e.yieldToKernel(p)
+	consumed := Duration(e.now - p.intStart)
+	e.chargedTotal += consumed
+	if e.probe != nil {
+		e.probe.Charged(p, p.intStart, consumed)
+	}
 	if !p.interrupted {
 		return 0
 	}
 	p.interrupted = false
-	consumed := Duration(e.now - p.intStart)
 	return d - consumed
 }
 

@@ -15,12 +15,47 @@ type Tracer interface {
 }
 
 // WriterTracer logs every scheduling transition to an io.Writer; intended
-// for debugging small simulations.
-type WriterTracer struct{ W io.Writer }
+// for debugging small simulations. Write errors are sticky: the first one
+// stops further output and is reported by Err, so a truncated trace file
+// (full disk, closed pipe) is detectable instead of silently incomplete.
+type WriterTracer struct {
+	W   io.Writer
+	err error
+}
 
-func (w WriterTracer) Resume(t Time, p *Proc) { fmt.Fprintf(w.W, "%v resume %s\n", t, p.name) }
-func (w WriterTracer) Yield(t Time, p *Proc)  { fmt.Fprintf(w.W, "%v yield  %s\n", t, p.name) }
-func (w WriterTracer) Exit(t Time, p *Proc)   { fmt.Fprintf(w.W, "%v exit   %s\n", t, p.name) }
+// NewWriterTracer returns a tracer logging to w.
+func NewWriterTracer(w io.Writer) *WriterTracer { return &WriterTracer{W: w} }
+
+// Err returns the first write error encountered, or nil.
+func (w *WriterTracer) Err() error { return w.err }
+
+func (w *WriterTracer) printf(format string, t Time, name string) {
+	if w.err != nil {
+		return
+	}
+	if _, err := fmt.Fprintf(w.W, format, t, name); err != nil {
+		w.err = err
+	}
+}
+
+func (w *WriterTracer) Resume(t Time, p *Proc) { w.printf("%v resume %s\n", t, p.name) }
+func (w *WriterTracer) Yield(t Time, p *Proc)  { w.printf("%v yield  %s\n", t, p.name) }
+func (w *WriterTracer) Exit(t Time, p *Proc)   { w.printf("%v exit   %s\n", t, p.name) }
+
+// Probe observes process accounting beyond the scheduling transitions a
+// Tracer sees: virtual-CPU charges (with their start time, so observers
+// can reconstruct burn intervals) and process spawns. Probes are pure
+// observers — they must not schedule events, charge time, or otherwise
+// perturb the simulation; the kernel calls them only when one is
+// installed, so the disabled path stays allocation-free.
+type Probe interface {
+	// Charged reports that p burned d of virtual CPU starting at start.
+	// For a plain Charge it fires at charge time; for an interruptible
+	// charge it fires at resume time with the actually-consumed amount.
+	Charged(p *Proc, start Time, d Duration)
+	// Spawned reports a new process incarnation at spawn time.
+	Spawned(p *Proc)
+}
 
 // HashTracer folds every scheduling transition into an FNV-1a hash. Two
 // runs of a deterministic simulation must produce identical sums; the

@@ -25,6 +25,9 @@ type lendEntry struct {
 // holder. Lending nests: a lent execution that polls the network can lend
 // onward to another optimistic execution.
 func (s *Scheduler) Lend(p *sim.Proc) {
+	if s.probe != nil {
+		s.probe.ProcBound(s.node.ID(), p)
+	}
 	s.lent = append(s.lent, lendEntry{p: p, lender: s.cpuProc()})
 }
 
@@ -59,7 +62,13 @@ func (s *Scheduler) Adopt(name string, p *sim.Proc) *Thread {
 	p.Charge(s.cost.ThreadCreate)
 	s.stats.Created++
 	s.stats.Adopted++
-	return &Thread{sched: s, name: name, proc: p, state: stateRunning}
+	t := &Thread{sched: s, name: name, proc: p, state: stateRunning}
+	if s.probe != nil {
+		now := s.eng.Now()
+		s.probe.ThreadCreated(now, s.node.ID(), t)
+		s.probe.ThreadStarted(now, s.node.ID(), t, true)
+	}
+	return t
 }
 
 // DetachBlocked parks the adopted thread in the blocked state and returns
@@ -97,6 +106,7 @@ func (s *Scheduler) detach(c Ctx, requeue bool) {
 		// return to the lender, which will find the ready thread itself.
 		t.state = stateReady
 		s.ready.pushBack(t)
+		s.noteReady()
 	}
 	top.lender.Unpark()
 	c.P.Park()
@@ -115,6 +125,9 @@ func (s *Scheduler) FinishAdopted(c Ctx) {
 	}
 	t.state = stateDead
 	t.done = true
+	if s.probe != nil {
+		s.probe.ThreadExited(s.eng.Now(), s.node.ID(), t)
+	}
 	for _, j := range t.joiners {
 		s.makeReady(j, false)
 	}

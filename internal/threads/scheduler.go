@@ -70,6 +70,45 @@ type Scheduler struct {
 	stopped    bool
 	interrupts bool
 	blocked    map[*Thread]struct{}
+	probe      Probe
+}
+
+// Probe observes scheduler activity: thread lifetimes, ready-queue depth,
+// and which simulation processes execute on this node's CPU (so observers
+// can attribute per-process costs to nodes). Probes are pure observers —
+// they must not schedule events or charge virtual time; every hook is
+// skipped when no probe is installed.
+type Probe interface {
+	// ThreadCreated fires when a thread descriptor comes into existence
+	// (Create, Bootstrap, or lazy promotion via Adopt).
+	ThreadCreated(t sim.Time, node int, th *Thread)
+	// ThreadStarted fires at a thread's first run; liveStack reports
+	// whether the start used the live-stack optimization. Adopted threads
+	// start implicitly (their execution state already exists).
+	ThreadStarted(t sim.Time, node int, th *Thread, liveStack bool)
+	// ThreadExited fires when a thread's body has returned.
+	ThreadExited(t sim.Time, node int, th *Thread)
+	// ReadyDepth fires whenever the node's ready-queue occupancy changes.
+	ReadyDepth(t sim.Time, node int, depth int)
+	// ProcBound associates a simulation process with this node: the idle
+	// process, each thread's process, and lent (optimistic) executions.
+	ProcBound(node int, p *sim.Proc)
+}
+
+// SetProbe installs a scheduler probe; pass nil to disable. The node's
+// already-running processes (the idle process) are reported immediately.
+func (s *Scheduler) SetProbe(p Probe) {
+	s.probe = p
+	if p != nil {
+		p.ProcBound(s.node.ID(), s.idle)
+	}
+}
+
+// noteReady reports a ready-queue occupancy change to the probe.
+func (s *Scheduler) noteReady() {
+	if s.probe != nil {
+		s.probe.ReadyDepth(s.eng.Now(), s.node.ID(), s.ready.len())
+	}
 }
 
 // NewScheduler creates the scheduler for node and starts its idle
@@ -170,6 +209,7 @@ func (s *Scheduler) schedulerLoop(p *sim.Proc, self *Thread) {
 	s.actor = p
 	for {
 		if next := s.ready.popFront(); next != nil {
+			s.noteReady()
 			if next == self {
 				// Our own wakeup arrived while we polled: return
 				// directly into the blocked thread. No switch, no cost —
@@ -224,6 +264,10 @@ func (s *Scheduler) startOrResume(p *sim.Proc, t *Thread, fromRunnable bool) {
 		t.state = stateRunning
 		s.cur = t
 		t.proc = s.eng.Spawn(t.name, t.run)
+		if s.probe != nil {
+			s.probe.ProcBound(s.node.ID(), t.proc)
+			s.probe.ThreadStarted(s.eng.Now(), s.node.ID(), t, !fromRunnable)
+		}
 	case stateReady:
 		if t.prepaid {
 			t.prepaid = false
@@ -246,6 +290,7 @@ func (s *Scheduler) startOrResume(p *sim.Proc, t *Thread, fromRunnable bool) {
 func (s *Scheduler) exitDispatch(p *sim.Proc) {
 	s.cur = nil
 	if next := s.ready.popFront(); next != nil {
+		s.noteReady()
 		s.startOrResume(p, next, false)
 		return
 	}
@@ -274,6 +319,7 @@ func (s *Scheduler) makeReady(t *Thread, front bool) {
 	} else {
 		s.ready.pushBack(t)
 	}
+	s.noteReady()
 	s.wakeActor()
 }
 
@@ -287,6 +333,9 @@ func (s *Scheduler) Create(c Ctx, name string, front bool, body func(Ctx)) *Thre
 	s.stats.Created++
 	c.P.Charge(s.cost.ThreadCreate)
 	t := &Thread{sched: s, name: name, body: body, state: stateNew}
+	if s.probe != nil {
+		s.probe.ThreadCreated(s.eng.Now(), s.node.ID(), t)
+	}
 	s.makeReady(t, front)
 	return t
 }
@@ -297,6 +346,9 @@ func (s *Scheduler) Create(c Ctx, name string, front bool, body func(Ctx)) *Thre
 func (s *Scheduler) Bootstrap(name string, body func(Ctx)) *Thread {
 	s.stats.Created++
 	t := &Thread{sched: s, name: name, body: body, state: stateNew}
+	if s.probe != nil {
+		s.probe.ThreadCreated(s.eng.Now(), s.node.ID(), t)
+	}
 	s.makeReady(t, false)
 	return t
 }
@@ -319,6 +371,7 @@ func (s *Scheduler) Yield(c Ctx) {
 	t.state = stateBlocked
 	s.makeReady(t, false)
 	next := s.ready.popFront()
+	s.noteReady()
 	if next == t {
 		// Sole runnable thread: nothing to switch to after all.
 		t.state = stateRunning

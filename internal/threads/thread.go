@@ -80,6 +80,9 @@ func (t *Thread) run(p *sim.Proc) {
 	t.body(c)
 	t.state = stateDead
 	t.done = true
+	if s := t.sched; s.probe != nil {
+		s.probe.ThreadExited(s.eng.Now(), s.node.ID(), t)
+	}
 	for _, j := range t.joiners {
 		t.sched.makeReady(j, false)
 	}
