@@ -1,7 +1,7 @@
 // Command oamlab regenerates every table and figure of the paper's
 // evaluation (section 4) on the simulated machine:
 //
-//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-cpuprofile F] [-memprofile F] <experiment>...
+//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-cpuprofile F] [-memprofile F] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
 // table3, ablation, schedpolicy, budget, buffering, chaos,
@@ -30,6 +30,14 @@
 // CPUs). Each cell owns a private simulation engine and results merge in
 // a fixed order, so the output is byte-identical at any setting; only
 // wall-clock time changes.
+//
+// -shards runs every simulation engine sharded: each run's nodes are
+// partitioned across N shards (-1 = one per CPU) that execute in
+// parallel over lockstep virtual-time windows. Results are bit-identical
+// to the sequential kernel at any value; the harness automatically
+// shrinks -par so cells x shards never exceeds GOMAXPROCS. The observed
+// trace/metrics subcommands always run sequentially (their probes need
+// the single-threaded kernel).
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, for finding host-side hot spots in the simulation kernel.
@@ -70,6 +78,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	csv := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	svgdir := fs.String("svgdir", "", "also render figures as SVG into this directory")
 	par := fs.Int("par", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
+	shards := fs.Int("shards", 1, "engine shards per run (1 = sequential kernel, -1 = one per CPU)")
 	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -107,6 +116,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 
 	if *par > 0 {
 		exp.Workers = *par
+	}
+	if *shards != 1 && *shards != 0 {
+		exp.Shards = *shards
 	}
 	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
 	names := fs.Args()

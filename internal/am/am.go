@@ -50,7 +50,6 @@ type Universe struct {
 	eps       []*Endpoint
 	handlers  []Handler
 	names     []string
-	stats     Stats
 	transport Transport
 	probe     Probe
 }
@@ -98,8 +97,23 @@ func (u *Universe) Scheduler(i int) *threads.Scheduler { return u.scheds[i] }
 // Endpoint returns node i's Active Message endpoint.
 func (u *Universe) Endpoint(i int) *Endpoint { return u.eps[i] }
 
-// Stats returns a snapshot of the universe's AM counters.
-func (u *Universe) Stats() Stats { return u.stats }
+// Stats returns a snapshot of the universe's AM counters, summed across
+// endpoints (MaxDepth is max-merged).
+func (u *Universe) Stats() Stats {
+	var out Stats
+	for _, ep := range u.eps {
+		s := &ep.stats
+		out.HandlersRun += s.HandlersRun
+		out.Sends += s.Sends
+		out.BulkSends += s.BulkSends
+		out.DrainSpins += s.DrainSpins
+		out.HandlerTime += s.HandlerTime
+		if s.MaxDepth > out.MaxDepth {
+			out.MaxDepth = s.MaxDepth
+		}
+	}
+	return out
+}
 
 // SetTransport installs (or, with nil, removes) a send-path interceptor.
 // Like Register, call it before the simulation starts.
@@ -117,12 +131,15 @@ func (u *Universe) Register(name string, h Handler) HandlerID {
 // HandlerName returns the registration name of id, for diagnostics.
 func (u *Universe) HandlerName(id HandlerID) string { return u.names[id] }
 
-// Endpoint is a node's Active Message interface.
+// Endpoint is a node's Active Message interface. Its counters are only
+// ever touched from code running on its node, so they stay shard-local
+// under a sharded engine.
 type Endpoint struct {
 	u     *Universe
 	node  *cm5.Node
 	sched *threads.Scheduler
 	depth int // nested handler executions on this node
+	stats Stats
 }
 
 // Node returns the endpoint's node.
@@ -136,7 +153,7 @@ func (ep *Endpoint) packet(dst int, h HandlerID, kind cm5.PacketKind, w [4]uint6
 	if int(h) < 0 || int(h) >= len(ep.u.handlers) {
 		panic(fmt.Sprintf("am: send to unregistered handler %d", h))
 	}
-	pkt := ep.u.m.AllocPacket()
+	pkt := ep.node.AllocPacket()
 	pkt.Src = ep.node.ID()
 	pkt.Dst = dst
 	pkt.Kind = kind
@@ -198,9 +215,9 @@ func (ep *Endpoint) SendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64, pa
 	}
 	ep.sendDraining(c, ep.packet(dst, h, kind, w, payload))
 	if bulk {
-		ep.u.stats.BulkSends++
+		ep.stats.BulkSends++
 	} else {
-		ep.u.stats.Sends++
+		ep.stats.Sends++
 	}
 }
 
@@ -213,19 +230,19 @@ func (ep *Endpoint) TrySendRaw(c threads.Ctx, dst int, h HandlerID, w [4]uint64,
 	pkt := ep.packet(dst, h, kind, w, payload)
 	if ep.node.TryInject(c.P, pkt) {
 		if bulk {
-			ep.u.stats.BulkSends++
+			ep.stats.BulkSends++
 		} else {
-			ep.u.stats.Sends++
+			ep.stats.Sends++
 		}
 		return true
 	}
-	ep.u.m.ReleasePacket(pkt) // never entered the network
+	ep.node.ReleasePacket(pkt) // never entered the network
 	return false
 }
 
 func (ep *Endpoint) sendDraining(c threads.Ctx, pkt *cm5.Packet) {
 	for !ep.node.TryInject(c.P, pkt) {
-		ep.u.stats.DrainSpins++
+		ep.stats.DrainSpins++
 		// Drain our own input while waiting for room: handle one packet
 		// if present, otherwise burn a poll and retry. Time advances, the
 		// destination eventually polls, and space appears.
@@ -262,7 +279,7 @@ func (ep *Endpoint) pollOnce(c threads.Ctx) bool {
 	// The wire-path packet is done once its handler returns: recycle the
 	// struct (the payload buffer is handed off, not reused). Packets a
 	// transport hands up via Deliver are the transport's to manage.
-	ep.u.m.ReleasePacket(pkt)
+	ep.node.ReleasePacket(pkt)
 	return true
 }
 
@@ -277,11 +294,11 @@ func (ep *Endpoint) dispatch(c threads.Ctx, pkt *cm5.Packet) {
 	h := ep.u.handlers[pkt.Handler]
 	hc := threads.Ctx{P: c.P, T: nil, S: ep.sched}
 	ep.depth++
-	if ep.depth > ep.u.stats.MaxDepth {
-		ep.u.stats.MaxDepth = ep.depth
+	if ep.depth > ep.stats.MaxDepth {
+		ep.stats.MaxDepth = ep.depth
 	}
 	c.P.Charge(ep.u.m.Cost().HandlerDispatch)
-	ep.u.stats.HandlersRun++
+	ep.stats.HandlersRun++
 	start := c.P.Now()
 	if ep.u.probe != nil {
 		ep.u.probe.HandlerStart(start, ep.node.ID(), HandlerID(pkt.Handler), ep.depth)
@@ -289,7 +306,7 @@ func (ep *Endpoint) dispatch(c threads.Ctx, pkt *cm5.Packet) {
 	h(hc, pkt)
 	// Nested dispatches (drains inside sends) double-count into their
 	// enclosing handler's window; MaxDepth reports when that happens.
-	ep.u.stats.HandlerTime += c.P.Now().Sub(start)
+	ep.stats.HandlerTime += c.P.Now().Sub(start)
 	if ep.u.probe != nil {
 		ep.u.probe.HandlerEnd(c.P.Now(), ep.node.ID(), HandlerID(pkt.Handler), ep.depth)
 	}

@@ -18,22 +18,30 @@ import (
 func (u *Universe) SPMD(body func(c threads.Ctx, node int)) (sim.Time, error) {
 	n := u.N()
 	done := make([]sim.Time, n)
-	finished := 0
+	// One flag per node, counted after the run: mains on different engine
+	// shards finish concurrently, so a shared counter would race.
+	fin := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i
 		u.scheds[i].Bootstrap(fmt.Sprintf("main/%d", i), func(c threads.Ctx) {
 			body(c, i)
 			done[i] = c.P.Now()
-			finished++
+			fin[i] = true
 		})
 	}
 	if err := u.m.Engine().Run(); err != nil {
 		return 0, err
 	}
+	finished := 0
+	for i := 0; i < n; i++ {
+		if fin[i] {
+			finished++
+		}
+	}
 	if finished != n {
 		var report []string
 		for i := 0; i < n; i++ {
-			if done[i] == 0 {
+			if !fin[i] {
 				report = append(report,
 					fmt.Sprintf("node %d (blocked: %v, %d queued packets)",
 						i, u.scheds[i].Blocked(), u.m.Node(i).Pending()))

@@ -6,11 +6,36 @@ package apps
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/am"
 	"repro/internal/sim"
 	"repro/internal/threads"
 )
+
+// ResolveShards normalizes a run's requested shard count for an n-node
+// machine: 0 or 1 means sequential, negative means auto (one shard per
+// CPU), and the result never exceeds the node count (an empty shard is
+// pure barrier overhead). Every run produces bit-identical results at any
+// shard count; shards only change wall-clock time.
+func ResolveShards(shards, nodes int) int {
+	if shards < 0 {
+		shards = runtime.NumCPU()
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > nodes {
+		shards = nodes
+	}
+	return shards
+}
+
+// Engine builds the simulation engine for an n-node run at the requested
+// shard count (see ResolveShards).
+func Engine(seed int64, shards, nodes int) *sim.Engine {
+	return sim.NewSharded(seed, ResolveShards(shards, nodes))
+}
 
 // System selects the communication system of a run, matching the three
 // implementations the paper compares.

@@ -32,6 +32,10 @@ type Config struct {
 	Side  int   // board side; the paper's experiment uses 6
 	Empty int   // initially empty cell; -1 selects the default center
 	Seed  int64 // simulation seed
+	// Shards selects the engine's shard count: 0 or 1 sequential,
+	// negative auto (one per CPU), clamped to the node count. Results are
+	// bit-identical at any value; only wall-clock time changes.
+	Shards int
 	// Strategy selects the OAM abort strategy for the ORPC variant
 	// (default Rerun, the paper's prototype).
 	Strategy oam.Strategy
@@ -108,7 +112,7 @@ func owner(s State, n int) int {
 // must equal SolveSeq's for the same board.
 func Run(sys apps.System, nodes int, cfg Config) (apps.Result, error) {
 	b := cfg.board()
-	eng := sim.New(cfg.Seed)
+	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	u.Machine().SetFaultPlan(cfg.Fault)

@@ -18,6 +18,10 @@ import (
 type ChaosConfig struct {
 	Cities   int
 	Seed     int64
+	// Shards selects the engine's shard count: 0 or 1 sequential,
+	// negative auto (one per CPU), clamped to the node count. Results are
+	// bit-identical at any value; only wall-clock time changes.
+	Shards   int
 	Strategy oam.Strategy
 	// Fault is the injected fault plan (nil for a perfect network).
 	Fault *cm5.FaultPlan
@@ -99,7 +103,7 @@ func RunChaos(slaves int, cfg ChaosConfig) (apps.Result, ChaosStats, error) {
 	cfg = cfg.withDefaults()
 	p := NewProblem(cfg.Cities, cfg.Seed)
 	nodes := slaves + 1
-	eng := sim.New(cfg.Seed)
+	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	u.Machine().SetFaultPlan(cfg.Fault)

@@ -30,6 +30,10 @@ var (
 type Config struct {
 	Cities int   // the paper's experiment uses 12
 	Seed   int64 // instance and simulation seed
+	// Shards selects the engine's shard count: 0 or 1 sequential,
+	// negative auto (one per CPU), clamped to the node count. Results are
+	// bit-identical at any value; only wall-clock time changes.
+	Shards int
 	// Strategy selects the OAM abort strategy for the ORPC variant
 	// (default Rerun, the paper's prototype).
 	Strategy oam.Strategy
@@ -64,7 +68,7 @@ type nodeState struct {
 func Run(sys apps.System, slaves int, cfg Config) (apps.Result, error) {
 	p := NewProblem(cfg.Cities, cfg.Seed)
 	nodes := slaves + 1
-	eng := sim.New(cfg.Seed)
+	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	u.Machine().SetFaultPlan(cfg.Fault)

@@ -41,6 +41,10 @@ type Config struct {
 	Mols  int
 	Iters int
 	Seed  int64
+	// Shards selects the engine's shard count: 0 or 1 sequential,
+	// negative auto (one per CPU), clamped to the node count. Results are
+	// bit-identical at any value; only wall-clock time changes.
+	Shards int
 	// Observe, if non-nil, is called once the universe (and, for the RPC
 	// variants, the runtime — nil under AM) is built but before the SPMD
 	// program starts, so an observer can attach its probes.

@@ -37,31 +37,46 @@ func (op ReduceOp) combine(a, b float64) float64 {
 // ctlRound is one round of a collective operation. Rounds are identified
 // by a per-primitive epoch; every node contributes exactly once per round
 // and waits exactly once per round (the barrier fuses the two).
+// Contributions are stored per node and combined in node order at release
+// time, so the result — including floating-point reductions — is
+// independent of arrival order and therefore of the shard count.
 type ctlRound struct {
 	entered      []bool
+	ors          []bool
+	vals         []float64
 	count        int
+	maxT         sim.Time // latest contribution time; release = maxT + latency
+	released     bool
 	orVal        bool
 	redVal       float64
-	released     bool
-	waiters      []func(or bool, red float64)
+	redOp        ReduceOp // operator of this round (fixed per round)
+	waiters      []func(or bool, red float64) // per node; called in node order
 	pendingWaits int
 }
 
 // collective implements one collective primitive (barrier, global OR, or
 // reduction) of the control network.
+//
+// Under a sharded engine, enters and waits performed during a parallel
+// window are buffered on the calling node's shard and applied at the
+// window barrier; the round's release is a global control event at
+// maxT + latency. Because every collective latency exceeds the data
+// network's wire latency (the lookahead bound), a release always lands
+// strictly after the window in which the round completed — so a node can
+// never observe a release that another shard has not yet made visible.
 type collective struct {
-	m         *Machine
-	latency   func(*CostModel) sim.Duration
-	rounds    map[uint64]*ctlRound
-	enterEp   []uint64 // rounds entered per node
-	waitEp    []uint64 // rounds waited per node
-	redOp     ReduceOp
-	redSeeded bool
+	m       *Machine
+	rank    uint64 // key rank of this primitive's release globals
+	latency func(*CostModel) sim.Duration
+	rounds  map[uint64]*ctlRound
+	enterEp []uint64 // rounds entered per node
+	waitEp  []uint64 // rounds waited per node
 }
 
-func newCollective(m *Machine, latency func(*CostModel) sim.Duration) *collective {
+func newCollective(m *Machine, rank uint64, latency func(*CostModel) sim.Duration) *collective {
 	return &collective{
 		m:       m,
+		rank:    rank,
 		latency: latency,
 		rounds:  make(map[uint64]*ctlRound),
 		enterEp: make([]uint64, m.N()),
@@ -73,78 +88,190 @@ func (c *collective) round(epoch uint64) *ctlRound {
 	r, ok := c.rounds[epoch]
 	if !ok {
 		n := c.m.N()
-		r = &ctlRound{entered: make([]bool, n), pendingWaits: n}
+		r = &ctlRound{
+			entered:      make([]bool, n),
+			ors:          make([]bool, n),
+			vals:         make([]float64, n),
+			pendingWaits: n,
+		}
 		c.rounds[epoch] = r
 	}
 	return r
 }
 
-// enter records node's contribution to its next round and completes the
-// round if this was the last contribution. It does not block.
-func (c *collective) enter(node int, or bool, red float64) {
+// Buffered collective operations (sharded engines; see machineShard).
+const (
+	opEnter uint8 = iota
+	opWait
+	opConsume
+)
+
+// ctlOp is one collective operation buffered during a parallel window.
+type ctlOp struct {
+	c     *collective
+	kind  uint8
+	epoch uint64
+	node  int
+	t     sim.Time
+	or    bool
+	red   float64
+	op    ReduceOp
+	cb    func(or bool, red float64)
+}
+
+func (o *ctlOp) apply() {
+	switch o.kind {
+	case opEnter:
+		o.c.applyEnter(o.epoch, o.node, o.t, o.or, o.red, o.op)
+	case opWait:
+		o.c.applyWait(o.epoch, o.node, o.cb)
+	default:
+		o.c.consume(o.epoch)
+	}
+}
+
+// enter records node's contribution to its next round. The epoch
+// bookkeeping is node-local and immediate; the round mutation is applied
+// inline on a sequential engine and deferred to the window barrier on a
+// sharded one. It does not block.
+func (c *collective) enter(n *Node, or bool, red float64, op ReduceOp) {
+	node := n.id
 	epoch := c.enterEp[node]
 	if epoch != c.waitEp[node] {
 		panic(fmt.Sprintf("cm5: node %d entered a collective twice without waiting", node))
 	}
 	c.enterEp[node] = epoch + 1
+	now := n.sh.Now()
+	if c.m.sharded() {
+		n.ms.ctlOps = append(n.ms.ctlOps, ctlOp{c: c, kind: opEnter, epoch: epoch, node: node, t: now, or: or, red: red, op: op})
+		return
+	}
+	c.applyEnter(epoch, node, now, or, red, op)
+}
+
+// applyEnter lands one contribution in its round and, when the round is
+// complete, schedules the release as a global control event keyed by
+// (primitive rank, epoch) at the last contribution time plus the
+// primitive's latency.
+func (c *collective) applyEnter(epoch uint64, node int, t sim.Time, or bool, red float64, op ReduceOp) {
 	r := c.round(epoch)
+	r.redOp = op
 	if r.entered[node] {
 		panic(fmt.Sprintf("cm5: node %d double-entered collective round %d", node, epoch))
 	}
 	r.entered[node] = true
-	r.orVal = r.orVal || or
-	if r.count == 0 {
-		r.redVal = red
-	} else {
-		r.redVal = c.redOp.combine(r.redVal, red)
-	}
+	r.ors[node] = or
+	r.vals[node] = red
 	r.count++
+	if t > r.maxT {
+		r.maxT = t
+	}
 	if r.count == c.m.N() {
-		c.m.eng.After(c.latency(&c.m.cost), func() {
-			r.released = true
-			ws := r.waiters
-			r.waiters = nil
-			for _, w := range ws {
-				w(r.orVal, r.redVal)
-			}
+		c.m.eng.AtGlobal(r.maxT.Add(c.latency(&c.m.cost)), c.rank<<48|epoch, func() {
+			c.release(epoch)
 		})
 	}
 }
 
+// release combines the round's contributions in node order and runs the
+// registered waiter callbacks, also in node order. It fires as a global
+// control event, so its position among same-time events is identical at
+// any shard count.
+func (c *collective) release(epoch uint64) {
+	r := c.rounds[epoch]
+	n := c.m.N()
+	or := false
+	red := 0.0
+	for i := 0; i < n; i++ {
+		or = or || r.ors[i]
+		if i == 0 {
+			red = r.vals[0]
+		} else {
+			red = r.redOp.combine(red, r.vals[i])
+		}
+	}
+	r.orVal, r.redVal = or, red
+	r.released = true
+	ws := r.waiters
+	r.waiters = nil
+	if ws == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if w := ws[i]; w != nil {
+			c.consume(epoch)
+			w(or, red)
+		}
+	}
+}
+
+// applyWait registers node's callback on its round.
+func (c *collective) applyWait(epoch uint64, node int, cb func(or bool, red float64)) {
+	r := c.round(epoch)
+	if r.released {
+		// Defensive: releases land strictly after the window that
+		// buffered the wait, so this cannot fire under the lookahead
+		// invariant — but a zero-latency cost model would break that.
+		c.consume(epoch)
+		cb(r.orVal, r.redVal)
+		return
+	}
+	if r.waiters == nil {
+		r.waiters = make([]func(or bool, red float64), c.m.N())
+	}
+	r.waiters[node] = cb
+}
+
+// consume retires one of the round's N waits, dropping the round when the
+// last one is consumed. Only ever called between windows (barrier, global
+// or sequential-kernel context): the rounds map must not change while
+// shards are running.
+func (c *collective) consume(epoch uint64) {
+	r := c.rounds[epoch]
+	r.pendingWaits--
+	if r.pendingWaits == 0 {
+		delete(c.rounds, epoch)
+	}
+}
+
 // waitAsync consumes node's wait for its last-entered round. If the round
-// has already combined, it returns (true, or, red) and cb is never called.
-// Otherwise it returns ready == false and cb fires — in kernel context —
-// when the round releases.
-func (c *collective) waitAsync(node int, cb func(or bool, red float64)) (ready, or bool, red float64) {
+// has already released, it returns (true, or, red) and cb is never
+// called. Otherwise it returns ready == false and cb fires — in kernel
+// context, at the release instant — when the round releases.
+func (c *collective) waitAsync(n *Node, cb func(or bool, red float64)) (ready, or bool, red float64) {
+	node := n.id
 	epoch := c.waitEp[node]
 	if epoch >= c.enterEp[node] {
 		panic(fmt.Sprintf("cm5: node %d waited on a collective without entering", node))
 	}
 	c.waitEp[node] = epoch + 1
-	r := c.rounds[epoch]
-	done := func() {
-		r.pendingWaits--
-		if r.pendingWaits == 0 {
-			delete(c.rounds, epoch)
+	if c.m.sharded() {
+		// The rounds map only changes between windows, so this lookup is
+		// stable all window long: a released round stays released (take
+		// the values now, defer the bookkeeping); anything else waits.
+		r := c.rounds[epoch]
+		if r != nil && r.released {
+			n.ms.ctlOps = append(n.ms.ctlOps, ctlOp{c: c, kind: opConsume, epoch: epoch})
+			return true, r.orVal, r.redVal
 		}
+		n.ms.ctlOps = append(n.ms.ctlOps, ctlOp{c: c, kind: opWait, epoch: epoch, node: node, cb: cb})
+		return false, false, 0
 	}
+	r := c.rounds[epoch]
 	if r.released {
-		done()
+		c.consume(epoch)
 		return true, r.orVal, r.redVal
 	}
-	r.waiters = append(r.waiters, func(or bool, red float64) {
-		done()
-		cb(or, red)
-	})
+	c.applyWait(epoch, node, cb)
 	return false, false, 0
 }
 
 // wait blocks node (parking p) until the round it last entered is released,
 // then returns that round's combined values.
-func (c *collective) wait(p *sim.Proc, node int) (bool, float64) {
+func (c *collective) wait(p *sim.Proc, n *Node) (bool, float64) {
 	var orOut bool
 	var redOut float64
-	ready, or, red := c.waitAsync(node, func(o bool, r float64) {
+	ready, or, red := c.waitAsync(n, func(o bool, r float64) {
 		orOut, redOut = o, r
 		p.Unpark()
 	})
@@ -164,11 +291,20 @@ type controlNetwork struct {
 	reduce  *collective
 }
 
+// Release-global key ranks. Crash globals use rank 0 (bare node keys), so
+// at one instant crashes order before barrier releases, then OR, then
+// reduce releases.
+const (
+	rankBarrier uint64 = 1
+	rankOR      uint64 = 2
+	rankReduce  uint64 = 3
+)
+
 func newControlNetwork(m *Machine) *controlNetwork {
 	return &controlNetwork{
-		barrier: newCollective(m, func(c *CostModel) sim.Duration { return c.BarrierLatency }),
-		or:      newCollective(m, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
-		reduce:  newCollective(m, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+		barrier: newCollective(m, rankBarrier, func(c *CostModel) sim.Duration { return c.BarrierLatency }),
+		or:      newCollective(m, rankOR, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+		reduce:  newCollective(m, rankReduce, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
 	}
 }
 
@@ -178,35 +314,33 @@ func newControlNetwork(m *Machine) *controlNetwork {
 // other threads can run while waiting.
 func (n *Node) Barrier(p *sim.Proc) {
 	b := n.m.ctl.barrier
-	b.enter(n.id, false, 0)
-	b.wait(p, n.id)
+	b.enter(n, false, 0, ReduceSum)
+	b.wait(p, n)
 }
 
 // BarrierEnter contributes node's arrival to the current barrier round
 // without blocking. Pair with BarrierWaitAsync.
-func (n *Node) BarrierEnter() { n.m.ctl.barrier.enter(n.id, false, 0) }
+func (n *Node) BarrierEnter() { n.m.ctl.barrier.enter(n, false, 0, ReduceSum) }
 
 // BarrierWaitAsync consumes the barrier wait: it reports true if the
 // round has already released; otherwise cb fires (in kernel context) on
 // release.
 func (n *Node) BarrierWaitAsync(cb func()) bool {
-	ready, _, _ := n.m.ctl.barrier.waitAsync(n.id, func(bool, float64) { cb() })
+	ready, _, _ := n.m.ctl.barrier.waitAsync(n, func(bool, float64) { cb() })
 	return ready
 }
 
 // ReduceEnter contributes val to the current reduction round under op
 // without blocking. Pair with ReduceWaitAsync.
 func (n *Node) ReduceEnter(val float64, op ReduceOp) {
-	r := n.m.ctl.reduce
-	r.redOp = op
-	r.enter(n.id, false, val)
+	n.m.ctl.reduce.enter(n, false, val, op)
 }
 
 // ReduceWaitAsync consumes the reduction wait: ready is true (with the
 // combined value) if the round has already released; otherwise cb fires
 // (in kernel context) with the combined value on release.
 func (n *Node) ReduceWaitAsync(cb func(float64)) (ready bool, val float64) {
-	ready, _, val = n.m.ctl.reduce.waitAsync(n.id, func(_ bool, red float64) { cb(red) })
+	ready, _, val = n.m.ctl.reduce.waitAsync(n, func(_ bool, red float64) { cb(red) })
 	return ready, val
 }
 
@@ -214,35 +348,35 @@ func (n *Node) ReduceWaitAsync(cb func(float64)) (ready bool, val float64) {
 // value) if the round has already combined; otherwise cb fires (in
 // kernel context) with the value on release.
 func (n *Node) ORWaitAsync(cb func(bool)) (ready, val bool) {
-	ready, val, _ = n.m.ctl.or.waitAsync(n.id, func(or bool, _ float64) { cb(or) })
+	ready, val, _ = n.m.ctl.or.waitAsync(n, func(or bool, _ float64) { cb(or) })
 	return ready, val
 }
 
 // OREnter contributes v to the current split-phase global-OR round and
 // returns immediately. Pair each OREnter with exactly one ORWait.
 func (n *Node) OREnter(v bool) {
-	n.m.ctl.or.enter(n.id, v, 0)
+	n.m.ctl.or.enter(n, v, 0, ReduceSum)
 }
 
 // ORWait blocks until the global-OR round this node last entered has
 // combined, and returns the OR across all nodes. Together with OREnter it
 // forms a split-phase barrier: enter, overlap computation, wait.
 func (n *Node) ORWait(p *sim.Proc) bool {
-	or, _ := n.m.ctl.or.wait(p, n.id)
+	or, _ := n.m.ctl.or.wait(p, n)
 	return or
 }
 
 // Reduce performs a blocking all-node reduction of val under op and
 // returns the combined value on every node.
 //
-// The operator is fixed per machine per round; mixing operators across
-// nodes within one round is a programming error that this implementation
-// does not detect (the first arriving operator wins). The evaluated
-// applications only ever use one operator per call site.
+// The operator is fixed per round; mixing operators across nodes within
+// one round is a programming error that this implementation does not
+// detect (the round combines under the operator of whichever contribution
+// applied last). The evaluated applications only ever use one operator
+// per call site.
 func (n *Node) Reduce(p *sim.Proc, val float64, op ReduceOp) float64 {
 	r := n.m.ctl.reduce
-	r.redOp = op
-	r.enter(n.id, false, val)
-	_, out := r.wait(p, n.id)
+	r.enter(n, false, val, op)
+	_, out := r.wait(p, n)
 	return out
 }

@@ -2,7 +2,7 @@ package cm5
 
 import (
 	"fmt"
-	"math/rand"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -134,28 +134,32 @@ const (
 	fnvPrime64  = 1099511628211
 )
 
-// faultState is the installed plan plus its runtime bookkeeping.
+// faultState is the installed plan plus its runtime bookkeeping. All
+// randomness is drawn from per-flight counter-seeded streams (see
+// flightRNG), so a draw's value depends only on the flight's identity,
+// and the mutable accounting (stats, per-node counters, the event trace)
+// lives in the per-shard machine state, merged canonically at read time.
+// What remains here is the immutable plan plus the crash flags, which
+// flip only at crash globals — between windows — and are therefore safe
+// to read from any shard mid-window.
 type faultState struct {
 	plan     FaultPlan
-	rng      *rand.Rand
 	linkDrop map[[2]int]float64
 	crashed  []bool
-	stats    FaultStats
-	perNode  []NodeFaultStats
-	events   []FaultEvent
-	hash     uint64
 }
 
-func (f *faultState) record(ev FaultEvent) {
-	f.events = append(f.events, ev)
-	h := f.hash
-	for _, v := range [4]uint64{uint64(ev.T), uint64(ev.Kind), uint64(ev.Src), uint64(ev.Dst)} {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= fnvPrime64
-		}
+// recordFault appends one fault to this shard's slice of the trace.
+func (ms *machineShard) recordFault(ev FaultEvent) {
+	ms.fevents = append(ms.fevents, ev)
+}
+
+// faultNode returns this shard's counters for node, sizing the slice on
+// first use (n is the machine's node count).
+func (ms *machineShard) faultNode(n, node int) *NodeFaultStats {
+	if ms.fperNode == nil {
+		ms.fperNode = make([]NodeFaultStats, n)
 	}
-	f.hash = h
+	return &ms.fperNode[node]
 }
 
 // dropProb returns the effective loss probability for the link src->dst.
@@ -179,47 +183,50 @@ func (f *faultState) partitioned(now sim.Time, src, dst int) bool {
 }
 
 // lossKind decides, at injection time, whether the packet is lost and why.
-// Crash and partition checks draw no randomness; the drop roll happens only
-// when the effective probability is positive, keeping the RNG stream
-// stable across plans that differ elsewhere.
-func (f *faultState) lossKind(now sim.Time, src, dst int) (FaultKind, bool) {
+// Crash and partition checks draw no randomness; the drop roll happens
+// only when the effective probability is positive. Draws come from the
+// flight's own stream, in a fixed order (loss, then — for delivered
+// packets — jitter, duplicate, duplicate jitter), so the outcome is a
+// pure function of (plan, src, dst, attempt, time).
+func (f *faultState) lossKind(fr *flightRNG, now sim.Time, src, dst int) (FaultKind, bool) {
 	if f.crashed[src] || f.crashed[dst] {
 		return FaultBlackhole, true
 	}
 	if f.partitioned(now, src, dst) {
 		return FaultPartitionDrop, true
 	}
-	if p := f.dropProb(src, dst); p > 0 && f.rng.Float64() < p {
+	if p := f.dropProb(src, dst); p > 0 && fr.float64() < p {
 		return FaultDrop, true
 	}
 	return 0, false
 }
 
 // extraLatency returns the additional delivery latency for a packet to dst
-// injected now: slow-window extras (recorded) plus an ExtraJitter draw.
-func (f *faultState) extraLatency(now sim.Time, src, dst int) sim.Duration {
+// injected now: slow-window extras (recorded into the sender's shard)
+// plus an ExtraJitter draw from the flight's stream.
+func (f *faultState) extraLatency(fr *flightRNG, ms *machineShard, now sim.Time, src, dst int) sim.Duration {
 	var extra sim.Duration
 	for _, w := range f.plan.Slow {
 		if w.Node == dst && now >= w.From && now < w.To {
 			extra += w.Extra
-			f.stats.Slowed++
-			f.record(FaultEvent{T: now, Kind: FaultSlow, Src: src, Dst: dst})
+			ms.fstats.Slowed++
+			ms.recordFault(FaultEvent{T: now, Kind: FaultSlow, Src: src, Dst: dst})
 		}
 	}
 	if f.plan.ExtraJitter > 0 {
-		extra += sim.Duration(f.rng.Int63n(int64(f.plan.ExtraJitter)))
+		extra += sim.Duration(fr.int63n(int64(f.plan.ExtraJitter)))
 	}
 	return extra
 }
 
-func (f *faultState) duplicate() bool {
-	return f.plan.DupProb > 0 && f.rng.Float64() < f.plan.DupProb
+func (f *faultState) duplicate(fr *flightRNG) bool {
+	return f.plan.DupProb > 0 && fr.float64() < f.plan.DupProb
 }
 
 // SetFaultPlan installs a fault plan on the machine's data network. Call
 // it once, before the simulation starts (crash schedules are posted as
-// engine events at install time). A nil plan — the default — means a
-// perfect network.
+// global control events at install time). A nil plan — the default —
+// means a perfect network.
 func (m *Machine) SetFaultPlan(plan *FaultPlan) {
 	if plan == nil {
 		m.fault = nil
@@ -227,10 +234,7 @@ func (m *Machine) SetFaultPlan(plan *FaultPlan) {
 	}
 	f := &faultState{
 		plan:    *plan,
-		rng:     rand.New(rand.NewSource(plan.Seed)),
 		crashed: make([]bool, len(m.nodes)),
-		perNode: make([]NodeFaultStats, len(m.nodes)),
-		hash:    fnvOffset64,
 	}
 	if len(plan.Links) > 0 {
 		f.linkDrop = make(map[[2]int]float64, len(plan.Links))
@@ -243,50 +247,99 @@ func (m *Machine) SetFaultPlan(plan *FaultPlan) {
 			panic(fmt.Sprintf("cm5: crash schedule names node %d of %d", cr.Node, len(m.nodes)))
 		}
 		cr := cr
-		m.eng.At(cr.At, func() {
+		// A crash is a global control transition: at its instant it fires
+		// before every same-time delivery and ordinary event, on any
+		// shard, which pins its place in the total event order whatever
+		// the shard count. Crash keys sort below collective releases.
+		m.eng.AtGlobal(cr.At, uint64(cr.Node), func() {
 			if f.crashed[cr.Node] {
 				return
 			}
 			f.crashed[cr.Node] = true
-			f.stats.Crashes++
-			f.record(FaultEvent{T: m.eng.Now(), Kind: FaultCrash, Src: cr.Node, Dst: cr.Node})
+			m.shards[0].fstats.Crashes++
+			m.shards[0].recordFault(FaultEvent{T: cr.At, Kind: FaultCrash, Src: cr.Node, Dst: cr.Node})
 		})
 	}
 	m.fault = f
 }
 
 // FaultStats returns the machine-wide injected-fault counters (zero when
-// no plan is installed).
+// no plan is installed), summed across shards.
 func (m *Machine) FaultStats() FaultStats {
-	if m.fault == nil {
-		return FaultStats{}
+	var out FaultStats
+	for i := range m.shards {
+		s := &m.shards[i].fstats
+		out.Dropped += s.Dropped
+		out.PartitionDrops += s.PartitionDrops
+		out.Blackholed += s.Blackholed
+		out.LateDrops += s.LateDrops
+		out.Duplicated += s.Duplicated
+		out.Slowed += s.Slowed
+		out.Crashes += s.Crashes
 	}
-	return m.fault.stats
+	return out
 }
 
-// NodeFaults returns the fault counters attributed to node i.
+// NodeFaults returns the fault counters attributed to node i, summed
+// across shards.
 func (m *Machine) NodeFaults(i int) NodeFaultStats {
-	if m.fault == nil {
-		return NodeFaultStats{}
+	var out NodeFaultStats
+	for s := range m.shards {
+		if pn := m.shards[s].fperNode; pn != nil {
+			out.Dropped += pn[i].Dropped
+			out.Duplicated += pn[i].Duplicated
+			out.Blackholed += pn[i].Blackholed
+		}
 	}
-	return m.fault.perNode[i]
+	return out
 }
 
-// FaultEvents returns the chronological record of every injected fault.
+// FaultEvents returns the record of every injected fault in canonical
+// (time, src, dst, kind) order. The canonical order — rather than raw
+// recording order — is what both the sequential and the sharded kernel
+// expose, so the trace (and its hash) is shard-count-independent.
 func (m *Machine) FaultEvents() []FaultEvent {
-	if m.fault == nil {
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].fevents)
+	}
+	if n == 0 {
 		return nil
 	}
-	return m.fault.events
+	out := make([]FaultEvent, 0, n)
+	for i := range m.shards {
+		out = append(out, m.shards[i].fevents...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.T != b.T {
+			return a.T < b.T
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		if a.Dst != b.Dst {
+			return a.Dst < b.Dst
+		}
+		return a.Kind < b.Kind
+	})
+	return out
 }
 
-// FaultTraceHash folds the fault-event record into a single FNV-1a hash:
-// two runs with the same seed and the same plan must agree on it.
+// FaultTraceHash folds the canonical fault-event record into a single
+// FNV-1a hash: two runs with the same seed and the same plan must agree
+// on it, at any shard count.
 func (m *Machine) FaultTraceHash() uint64 {
-	if m.fault == nil {
-		return fnvOffset64
+	h := uint64(fnvOffset64)
+	for _, ev := range m.FaultEvents() {
+		for _, v := range [4]uint64{uint64(ev.T), uint64(ev.Kind), uint64(ev.Src), uint64(ev.Dst)} {
+			for i := 0; i < 8; i++ {
+				h ^= (v >> (8 * i)) & 0xff
+				h *= fnvPrime64
+			}
+		}
 	}
-	return m.fault.hash
+	return h
 }
 
 // Crashed reports whether node i has fail-stopped.

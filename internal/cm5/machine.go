@@ -8,21 +8,27 @@ import (
 
 // Machine is a simulated multicomputer: N nodes, a data network, and a
 // control network. All methods must be called from simulation context
-// (process bodies or kernel callbacks) — the machine is as single-threaded
-// as the kernel that drives it.
+// (process bodies or kernel callbacks) on the shard that owns the node
+// involved — with a sequential engine that is the familiar
+// "single-threaded like the kernel" rule; with a sharded engine the
+// machine partitions its nodes across the engine's shards (contiguous
+// blocks) and registers itself as the engine's window hook so
+// cross-shard traffic merges deterministically at window barriers.
 type Machine struct {
 	eng   *sim.Engine
 	cost  CostModel
 	nodes []*Node
 	ctl   *controlNetwork
-	stats NetStats
 	fault *faultState // nil = perfect network (the default)
 	probe Probe       // nil = no observer (the default, allocation-free)
 
-	// Hot-path free lists (the machine is as single-threaded as its
-	// engine, so neither needs locking).
-	freePkt   *Packet   // recycled packet structs
-	freeDeliv *delivery // recycled delivery events
+	// shards holds the per-engine-shard slice of machine state (stats,
+	// pools, window buffers). Exactly one entry on a sequential engine.
+	shards []machineShard
+	// snap is the barrier-time NIC occupancy (queued + reserved) of every
+	// node; senders on other shards read it, plus their own in-window
+	// reservations, as the "network full" signal. Sharded engines only.
+	snap []int32
 }
 
 // NetStats aggregates data-network traffic counters.
@@ -37,7 +43,10 @@ type NetStats struct {
 // Probe observes data-network traffic: injections, wire flights, losses,
 // deliveries, and backpressure. Probes are pure observers — they must not
 // schedule events or charge virtual time. All hooks run only when a probe
-// is installed, so the disabled path stays allocation-free.
+// is installed, so the disabled path stays allocation-free. Probes see
+// mid-window state from multiple goroutines under a sharded engine, so
+// they are only supported with one shard (sim.Engine.SetProbe enforces
+// the same rule for its own probes).
 type Probe interface {
 	// PacketSent fires at injection time, before the sender is charged:
 	// the sender's CPU is busy for busy, then the packet flies for wire.
@@ -56,17 +65,42 @@ type Probe interface {
 }
 
 // SetProbe installs a traffic probe; pass nil to disable.
-func (m *Machine) SetProbe(p Probe) { m.probe = p }
+func (m *Machine) SetProbe(p Probe) {
+	if p != nil && len(m.shards) > 1 {
+		panic("cm5: traffic probes require a sequential engine (shards=1)")
+	}
+	m.probe = p
+}
 
-// NewMachine creates a machine with n nodes.
+// NewMachine creates a machine with n nodes. The nodes are partitioned
+// across the engine's shards in contiguous blocks (node i on shard
+// i*S/n); with a sharded engine the machine installs itself as the
+// window hook.
 func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
 	if n < 1 {
 		panic("cm5: machine needs at least one node")
 	}
 	m := &Machine{eng: eng, cost: cost}
+	s := eng.Shards()
+	m.shards = make([]machineShard, s)
 	m.nodes = make([]*Node, n)
 	for i := range m.nodes {
-		m.nodes[i] = &Node{id: i, m: m, nic: newNIC(cost.NICQueueCap)}
+		si := i * s / n
+		m.nodes[i] = &Node{
+			id:       i,
+			m:        m,
+			nic:      newNIC(cost.NICQueueCap),
+			sh:       eng.Shard(si),
+			ms:       &m.shards[si],
+			attempts: make([]uint64, n),
+		}
+	}
+	if s > 1 {
+		m.snap = make([]int32, n)
+		for si := range m.shards {
+			m.shards[si].resv = make([]int32, n)
+		}
+		eng.SetWindowHook(m)
 	}
 	m.ctl = newControlNetwork(m)
 	return m
@@ -84,18 +118,45 @@ func (m *Machine) N() int { return len(m.nodes) }
 // Node returns node i.
 func (m *Machine) Node(i int) *Node { return m.nodes[i] }
 
-// Stats returns a copy of the machine's traffic counters.
-func (m *Machine) Stats() NetStats { return m.stats }
+// sharded reports whether the machine spans more than one engine shard.
+func (m *Machine) sharded() bool { return len(m.shards) > 1 }
 
-// AllocPacket takes a packet from the machine's pool (or the heap when the
-// pool is dry). The packet is returned to the pool by ReleasePacket after
-// its handler runs; see the ownership rules on Packet.
-func (m *Machine) AllocPacket() *Packet {
-	p := m.freePkt
+// Stats returns the machine's traffic counters, summed across shards
+// (high-water marks are max-merged).
+func (m *Machine) Stats() NetStats {
+	var out NetStats
+	for i := range m.shards {
+		s := &m.shards[i].stats
+		out.SmallSent += s.SmallSent
+		out.BulkSent += s.BulkSent
+		out.BytesSent += s.BytesSent
+		out.FullRejects += s.FullRejects
+		if s.MaxQueueSeen > out.MaxQueueSeen {
+			out.MaxQueueSeen = s.MaxQueueSeen
+		}
+	}
+	return out
+}
+
+// AllocPacket takes a packet from the pool of the node's shard (or the
+// heap when the pool is dry). The packet is returned to a pool by
+// ReleasePacket after its handler runs; see the ownership rules on
+// Packet. Senders should allocate through their own node so pool access
+// stays shard-local.
+func (n *Node) AllocPacket() *Packet { return n.ms.allocPacket() }
+
+// AllocPacket is the machine-level variant, drawing from shard 0's pool.
+// Safe on a sequential engine (where shard 0 is the whole machine) and in
+// setup code; in-simulation senders on a sharded engine must use
+// Node.AllocPacket.
+func (m *Machine) AllocPacket() *Packet { return m.shards[0].allocPacket() }
+
+func (ms *machineShard) allocPacket() *Packet {
+	p := ms.freePkt
 	if p == nil {
 		p = new(Packet)
 	} else {
-		m.freePkt = p.poolNext
+		ms.freePkt = p.poolNext
 		p.poolNext = nil
 	}
 	p.pooled = true
@@ -103,11 +164,21 @@ func (m *Machine) AllocPacket() *Packet {
 	return p
 }
 
-// ReleasePacket returns a pooled packet to the machine once its last
-// delivery has been handled. Hand-built packets (pooled == false) and
-// duplicated packets with deliveries still outstanding are left alone.
-// The payload buffer is dropped, never reused: receivers may retain it.
-func (m *Machine) ReleasePacket(p *Packet) {
+// ReleasePacket returns a pooled packet to this node's shard pool once
+// its last delivery has been handled. Hand-built packets (pooled ==
+// false) and duplicated packets with deliveries still outstanding are
+// left alone. The payload buffer is dropped, never reused: receivers may
+// retain it. Packets may retire to a different shard's pool than they
+// were allocated from; pools only recycle structs, so migration is
+// harmless.
+func (n *Node) ReleasePacket(p *Packet) { n.ms.releasePacket(p) }
+
+// ReleasePacket is the machine-level variant, returning to shard 0's
+// pool. Safe on a sequential engine and in setup code; in-simulation
+// receivers on a sharded engine must use Node.ReleasePacket.
+func (m *Machine) ReleasePacket(p *Packet) { m.shards[0].releasePacket(p) }
+
+func (ms *machineShard) releasePacket(p *Packet) {
 	if p == nil || !p.pooled {
 		return
 	}
@@ -115,15 +186,17 @@ func (m *Machine) ReleasePacket(p *Packet) {
 		p.refs--
 		return
 	}
-	*p = Packet{poolNext: m.freePkt}
-	m.freePkt = p
+	*p = Packet{poolNext: ms.freePkt}
+	ms.freePkt = p
 }
 
 // delivery is a pooled, closure-free packet-delivery event: the typed
 // {packet} record that replaces the per-packet func() previously captured
-// at injection time.
+// at injection time. It carries the destination shard's pool so recycling
+// stays shard-local wherever the record was created.
 type delivery struct {
 	m    *Machine
+	ms   *machineShard
 	pkt  *Packet
 	next *delivery
 }
@@ -131,48 +204,52 @@ type delivery struct {
 // Run implements sim.Action: recycle the delivery record, then complete
 // the transfer into the destination NIC.
 func (d *delivery) Run() {
-	m, pkt := d.m, d.pkt
+	m, ms, pkt := d.m, d.ms, d.pkt
 	d.pkt = nil
-	d.next = m.freeDeliv
-	m.freeDeliv = d
+	d.next = ms.freeDeliv
+	ms.freeDeliv = d
 	m.completeDelivery(pkt)
 }
 
-// newDelivery takes a delivery record from the pool.
-func (m *Machine) newDelivery(pkt *Packet) *delivery {
-	d := m.freeDeliv
+// newDelivery takes a delivery record from ms's pool. ms must be the
+// destination node's shard (the record recycles there when it fires).
+func (m *Machine) newDelivery(ms *machineShard, pkt *Packet) *delivery {
+	d := ms.freeDeliv
 	if d == nil {
 		d = &delivery{m: m}
 	} else {
-		m.freeDeliv = d.next
+		ms.freeDeliv = d.next
 		d.next = nil
 	}
+	d.ms = ms
 	d.pkt = pkt
 	return d
 }
 
 // completeDelivery lands a packet that finished its wire flight: either
 // into the destination's input queue (waking the node) or, if the receiver
-// crashed while the packet was in flight, into the fault accounting.
+// crashed while the packet was in flight, into the fault accounting. It
+// always runs on the destination node's shard.
 func (m *Machine) completeDelivery(pkt *Packet) {
 	dst := m.nodes[pkt.Dst]
+	now := dst.sh.Now()
 	if f := m.fault; f != nil && f.crashed[pkt.Dst] {
 		dst.nic.abandon()
-		f.stats.LateDrops++
-		f.perNode[pkt.Dst].Blackholed++
-		f.record(FaultEvent{T: m.eng.Now(), Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
+		dst.ms.fstats.LateDrops++
+		dst.ms.faultNode(m.N(), pkt.Dst).Blackholed++
+		dst.ms.recordFault(FaultEvent{T: now, Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
 		if m.probe != nil {
-			m.probe.PacketLost(m.eng.Now(), pkt.Src, pkt.Dst, FaultLateDrop)
+			m.probe.PacketLost(now, pkt.Src, pkt.Dst, FaultLateDrop)
 		}
-		m.ReleasePacket(pkt)
+		dst.ReleasePacket(pkt)
 		return
 	}
 	dst.nic.deliver(pkt)
-	if q := dst.nic.pending(); q > m.stats.MaxQueueSeen {
-		m.stats.MaxQueueSeen = q
+	if q := dst.nic.pending(); q > dst.ms.stats.MaxQueueSeen {
+		dst.ms.stats.MaxQueueSeen = q
 	}
 	if m.probe != nil {
-		m.probe.PacketDelivered(m.eng.Now(), pkt, dst.nic.pending())
+		m.probe.PacketDelivered(now, pkt, dst.nic.pending())
 	}
 	if dst.wake != nil {
 		dst.wake()
@@ -187,6 +264,22 @@ type Node struct {
 	m   *Machine
 	nic *nic
 
+	// sh is the engine shard that owns this node: every process running
+	// on the node, every timer it arms, and every packet delivered to it
+	// lives on this shard.
+	sh *sim.Shard
+	// ms is the machine-state slice of that shard.
+	ms *machineShard
+
+	// flightSeq counts delivery copies this node has launched; packed
+	// with the node id it is the canonical delivery key that totally
+	// orders same-instant packet arrivals machine-wide.
+	flightSeq uint64
+	// attempts counts TryInject calls per destination; it seeds the
+	// per-flight RNG streams, so a draw's value depends only on
+	// (src, dst, attempt), never on unrelated event order.
+	attempts []uint64
+
 	// wake, if non-nil, is invoked (in kernel context) when a packet is
 	// delivered into this node's input queue. The thread scheduler
 	// registers its idle process here so delivery can end an idle wait.
@@ -198,6 +291,11 @@ func (n *Node) ID() int { return n.id }
 
 // Machine returns the owning machine.
 func (n *Node) Machine() *Machine { return n.m }
+
+// Shard returns the engine shard that owns this node. Layers running
+// code on the node (thread schedulers, transports, RPC runtimes) must
+// schedule their timers and processes through it.
+func (n *Node) Shard() *sim.Shard { return n.sh }
 
 // SetWake registers fn to be called whenever a packet is delivered into
 // this node's input queue. Pass nil to clear.
@@ -213,7 +311,53 @@ func (n *Node) InFlight() bool { return n.nic.reserved > 0 }
 // NetworkFull reports whether an injection toward dst would be refused
 // right now. This is the OAM "network busy" abort condition.
 func (n *Node) NetworkFull(dst int) bool {
-	return n.m.nodes[dst].nic.full()
+	return n.dstFull(n.m.nodes[dst])
+}
+
+// dstFull is the sender-side "network full" predicate. For a destination
+// on the sender's own shard it reads the NIC exactly, as always. For a
+// cross-shard destination it conservatively combines the barrier-time
+// occupancy snapshot with the reservations this shard has made toward
+// dst during the current window; it cannot see same-window pops or other
+// shards' reservations, which is the one place sharded execution is
+// approximate — workloads that saturate a NIC within a single lookahead
+// window should run with one shard.
+func (n *Node) dstFull(dst *Node) bool {
+	if dst.sh == n.sh {
+		return dst.nic.full()
+	}
+	return int(n.m.snap[dst.id])+int(n.ms.resv[dst.id]) >= dst.nic.cap
+}
+
+// reserveToward claims a NIC slot toward dst: directly for a same-shard
+// destination, or in the window buffer for a cross-shard one (the
+// barrier converts buffered claims into real reservations).
+func (n *Node) reserveToward(dst *Node) {
+	if dst.sh == n.sh {
+		dst.nic.reserve()
+		return
+	}
+	n.ms.resv[dst.id]++
+}
+
+// nextFlightKey returns the canonical delivery key for the next delivery
+// copy launched by this node: (source node, per-source flight number).
+func (n *Node) nextFlightKey() uint64 {
+	n.flightSeq++
+	return uint64(n.id)<<40 | (n.flightSeq & (1<<40 - 1))
+}
+
+// launch schedules one delivery copy arriving wire after the current
+// instant: inline on the shared shard, or via the window outbox when the
+// destination lives on another shard.
+func (n *Node) launch(dst *Node, pkt *Packet, wire sim.Duration) {
+	at := n.sh.Now().Add(wire)
+	key := n.nextFlightKey()
+	if dst.sh == n.sh {
+		n.sh.AtDelivery(at, key, n.m.newDelivery(n.ms, pkt))
+		return
+	}
+	n.ms.outbox = append(n.ms.outbox, flight{at: at, key: key, pkt: pkt})
 }
 
 // TryInject attempts to send pkt from this node. On success it charges the
@@ -232,18 +376,23 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 	}
 	dst := n.m.nodes[pkt.Dst]
 	f := n.m.fault
-	now := n.m.eng.Now()
+	now := n.sh.Now()
+	attempt := n.attempts[pkt.Dst]
+	n.attempts[pkt.Dst]++
+	var fr flightRNG
 	var lossKind FaultKind
 	lost := false
 	if f != nil {
 		// Decide loss before the full-buffer check: a send to a crashed
 		// (never-polling, eventually full) node must still "succeed" from
 		// the sender's view, or drain-while-sending would spin forever on
-		// a NIC nobody will ever empty.
-		lossKind, lost = f.lossKind(now, pkt.Src, pkt.Dst)
+		// a NIC nobody will ever empty. Every fault draw for this flight
+		// comes from its own counter-seeded stream.
+		fr = newFlightRNG(uint64(f.plan.Seed), pkt.Src, pkt.Dst, attempt, 0)
+		lossKind, lost = f.lossKind(&fr, now, pkt.Src, pkt.Dst)
 	}
-	if !lost && dst.nic.full() {
-		n.m.stats.FullRejects++
+	if !lost && n.dstFull(dst) {
+		n.ms.stats.FullRejects++
 		if n.m.probe != nil {
 			n.m.probe.Backpressure(now, pkt.Src, pkt.Dst)
 		}
@@ -257,67 +406,68 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			panic(fmt.Sprintf("cm5: small packet payload %d exceeds max %d", len(pkt.Payload), cost.MaxPayload))
 		}
 		busy = cost.PacketSendOverhead
-		n.m.stats.SmallSent++
+		n.ms.stats.SmallSent++
 	case Bulk:
 		busy = cost.BulkSetup + sim.Duration(len(pkt.Payload))*cost.BulkPerByte
-		n.m.stats.BulkSent++
+		n.ms.stats.BulkSent++
 	default:
 		panic("cm5: unknown packet kind")
 	}
-	n.m.stats.BytesSent += uint64(len(pkt.Payload))
+	n.ms.stats.BytesSent += uint64(len(pkt.Payload))
 	if lost {
 		// The sender pays the injection cost — the packet left the node
 		// and died in the network, indistinguishable from a successful
 		// send until (if ever) a higher layer times out waiting.
 		switch lossKind {
 		case FaultBlackhole:
-			f.stats.Blackholed++
+			n.ms.fstats.Blackholed++
 			crashedAt := pkt.Src
 			if !f.crashed[pkt.Src] {
 				crashedAt = pkt.Dst
 			}
-			f.perNode[crashedAt].Blackholed++
+			n.ms.faultNode(n.m.N(), crashedAt).Blackholed++
 		case FaultPartitionDrop:
-			f.stats.PartitionDrops++
-			f.perNode[pkt.Src].Dropped++
+			n.ms.fstats.PartitionDrops++
+			n.ms.faultNode(n.m.N(), pkt.Src).Dropped++
 		default:
-			f.stats.Dropped++
-			f.perNode[pkt.Src].Dropped++
+			n.ms.fstats.Dropped++
+			n.ms.faultNode(n.m.N(), pkt.Src).Dropped++
 		}
-		f.record(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
+		n.ms.recordFault(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
 		if n.m.probe != nil {
 			n.m.probe.PacketLost(now, pkt.Src, pkt.Dst, lossKind)
 		}
-		n.m.ReleasePacket(pkt) // died in the network: nobody will deliver it
+		n.ReleasePacket(pkt) // died in the network: nobody will deliver it
 		p.Charge(busy)
 		return true
 	}
-	dst.nic.reserve()
-	eng := n.m.eng
+	n.reserveToward(dst)
 	wire := cost.WireLatency
 	if cost.WireJitter > 0 {
-		// Deterministic jitter from the engine's seeded source. Note
-		// that jitter can reorder same-pair deliveries; the layers above
-		// do not depend on FIFO ordering (RPC matches replies by call
-		// id), but applications relying on it should keep jitter off.
-		wire += sim.Duration(eng.Rand().Int63n(int64(cost.WireJitter)))
+		// Deterministic jitter from the flight's own stream (seeded from
+		// the engine seed, salted apart from the fault stream). Note that
+		// jitter can reorder same-pair deliveries; the layers above do
+		// not depend on FIFO ordering (RPC matches replies by call id),
+		// but applications relying on it should keep jitter off.
+		wr := newFlightRNG(uint64(n.m.eng.Seed()), pkt.Src, pkt.Dst, attempt, wireSalt)
+		wire += sim.Duration(wr.int63n(int64(cost.WireJitter)))
 	}
 	dup := false
 	var dupWire sim.Duration
 	if f != nil {
-		wire += f.extraLatency(now, pkt.Src, pkt.Dst)
-		if f.duplicate() && !dst.nic.full() {
+		wire += f.extraLatency(&fr, n.ms, now, pkt.Src, pkt.Dst)
+		if f.duplicate(&fr) && !n.dstFull(dst) {
 			// The network forged a second copy; it takes its own slot and
 			// its own (possibly different) path latency.
 			dup = true
 			if pkt.pooled {
 				pkt.refs++ // the receiver must handle both copies before recycling
 			}
-			dst.nic.reserve()
-			dupWire = cost.WireLatency + f.extraLatency(now, pkt.Src, pkt.Dst)
-			f.stats.Duplicated++
-			f.perNode[pkt.Src].Duplicated++
-			f.record(FaultEvent{T: now, Kind: FaultDuplicate, Src: pkt.Src, Dst: pkt.Dst})
+			n.reserveToward(dst)
+			dupWire = cost.WireLatency + f.extraLatency(&fr, n.ms, now, pkt.Src, pkt.Dst)
+			n.ms.fstats.Duplicated++
+			n.ms.faultNode(n.m.N(), pkt.Src).Duplicated++
+			n.ms.recordFault(FaultEvent{T: now, Kind: FaultDuplicate, Src: pkt.Src, Dst: pkt.Dst})
 		}
 	}
 	// The sender's CPU is busy for the injection; the packet leaves at the
@@ -327,9 +477,9 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 		n.m.probe.PacketSent(now, pkt, busy, wire, dup, dupWire)
 	}
 	p.Charge(busy)
-	eng.AfterAction(wire, n.m.newDelivery(pkt))
+	n.launch(dst, pkt, wire)
 	if dup {
-		eng.AfterAction(dupWire, n.m.newDelivery(pkt))
+		n.launch(dst, pkt, dupWire)
 	}
 	return true
 }

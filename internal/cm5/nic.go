@@ -33,13 +33,30 @@ func (n *nic) reserve() {
 	n.reserved++
 }
 
-// deliver converts a reservation into a queued packet.
+// forceReserve claims a slot without the capacity check. Used by the
+// window barrier for cross-shard flights, whose admission was decided at
+// injection time against the sender's snapshot view: near saturation that
+// view can admit slightly more than cap, so the ring grows instead of
+// panicking (occupancy above cap is transient and bounded by one window's
+// cross-shard traffic).
+func (n *nic) forceReserve() { n.reserved++ }
+
+// deliver converts a reservation into a queued packet, growing the ring
+// if force-reserved flights pushed occupancy past the nominal capacity.
 func (n *nic) deliver(p *Packet) {
 	if n.reserved <= 0 {
 		panic("cm5: delivery without reservation")
 	}
 	n.reserved--
-	n.queue[(n.head+n.count)%n.cap] = p
+	if n.count == len(n.queue) {
+		grown := make([]*Packet, 2*len(n.queue))
+		for i := 0; i < n.count; i++ {
+			grown[i] = n.queue[(n.head+i)%len(n.queue)]
+		}
+		n.queue = grown
+		n.head = 0
+	}
+	n.queue[(n.head+n.count)%len(n.queue)] = p
 	n.count++
 }
 
@@ -59,7 +76,7 @@ func (n *nic) pop() *Packet {
 	}
 	p := n.queue[n.head]
 	n.queue[n.head] = nil
-	n.head = (n.head + 1) % n.cap
+	n.head = (n.head + 1) % len(n.queue)
 	n.count--
 	return p
 }

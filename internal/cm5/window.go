@@ -1,0 +1,110 @@
+package cm5
+
+import (
+	"repro/internal/sim"
+)
+
+// machineShard is the slice of machine state owned by one engine shard.
+// During a parallel window a shard touches only its own machineShard (and
+// the NICs of its own nodes); everything cross-shard is buffered here and
+// merged at the window barrier by the coordinator. With one shard there
+// is exactly one of these and the buffers are never used.
+type machineShard struct {
+	stats NetStats
+
+	// Hot-path free lists (owner-shard only; the coordinator may also
+	// touch them between windows).
+	freePkt   *Packet
+	freeDeliv *delivery
+
+	// outbox buffers cross-shard packet flights injected during the
+	// current window; the barrier schedules them onto the destination
+	// shards in canonical (arrival time, flight key) order — which the
+	// destination heap's comparator provides, so appending order here is
+	// irrelevant.
+	outbox []flight
+
+	// resv counts, per destination node, the NIC slots this shard has
+	// claimed during the current window for cross-shard flights. Added to
+	// the barrier-time occupancy snapshot, it gives the sender's
+	// "network full" view without touching the remote NIC.
+	resv []int32
+
+	// ctlOps buffers collective enters/waits/wait-consumptions performed
+	// during the current window; the barrier applies them.
+	ctlOps []ctlOp
+
+	// Fault accounting is sharded and merged lazily at read (see
+	// fault.go), so injection sites never contend.
+	fstats   FaultStats
+	fperNode []NodeFaultStats
+	fevents  []FaultEvent
+}
+
+// flight is one buffered cross-shard packet delivery.
+type flight struct {
+	at  sim.Time
+	key uint64
+	pkt *Packet
+}
+
+// Lookahead implements sim.WindowHook: the width of the next safe
+// parallel window starting at now. No packet injected at or after now can
+// affect another shard sooner than WireLatency (every fault extra is
+// additive), so that is the base bound. The window is additionally
+// clipped at the next fault-plan boundary — a slow window or partition
+// edge — so a window never straddles a point where the plan's behavior
+// changes, and an active ExtraJitter/slow configuration can only shrink
+// the window, never widen it.
+func (m *Machine) Lookahead(now sim.Time) sim.Duration {
+	la := m.cost.WireLatency
+	if f := m.fault; f != nil {
+		clip := func(edge sim.Time) {
+			if edge > now && sim.Duration(edge-now) < la {
+				la = sim.Duration(edge - now)
+			}
+		}
+		for _, w := range f.plan.Slow {
+			clip(w.From)
+			clip(w.To)
+		}
+		for _, w := range f.plan.Partitions {
+			clip(w.From)
+			clip(w.To)
+		}
+	}
+	if la < 1 {
+		la = 1
+	}
+	return la
+}
+
+// Barrier implements sim.WindowHook: merge everything the shards buffered
+// during the window. Runs on the coordinator goroutine with every shard
+// quiescent, so it may touch any state.
+func (m *Machine) Barrier() {
+	for si := range m.shards {
+		ms := &m.shards[si]
+		for _, fl := range ms.outbox {
+			dst := m.nodes[fl.pkt.Dst]
+			dst.nic.forceReserve()
+			dst.sh.AtDelivery(fl.at, fl.key, m.newDelivery(dst.ms, fl.pkt))
+		}
+		ms.outbox = ms.outbox[:0]
+		for i := range ms.resv {
+			ms.resv[i] = 0
+		}
+	}
+	for si := range m.shards {
+		ms := &m.shards[si]
+		ops := ms.ctlOps
+		for i := range ops {
+			ops[i].apply()
+			ops[i] = ctlOp{} // drop callback/packet references
+		}
+		ms.ctlOps = ms.ctlOps[:0]
+	}
+	for i, n := range m.nodes {
+		m.snap[i] = int32(n.nic.count + n.nic.reserved)
+	}
+}

@@ -1,0 +1,61 @@
+package cm5
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestLookaheadClipsAtFaultEdges: the parallel window bound is WireLatency
+// on a clean machine, and shrinks so that no window straddles a slow-window
+// or partition edge — the instants where the fault plan's behavior changes.
+func TestLookaheadClipsAtFaultEdges(t *testing.T) {
+	eng := sim.New(1)
+	defer eng.Shutdown()
+	m := NewMachine(eng, 4, DefaultCostModel())
+	wire := m.cost.WireLatency
+
+	if got := m.Lookahead(0); got != wire {
+		t.Fatalf("clean machine lookahead = %v, want WireLatency %v", got, wire)
+	}
+
+	from := sim.Time(10 * wire)
+	to := from.Add(5 * wire)
+	m.SetFaultPlan(&FaultPlan{
+		Seed: 1,
+		Slow: []SlowWindow{{Node: 2, From: from, To: to, Extra: sim.Micros(50)}},
+	})
+
+	cases := []struct {
+		name string
+		now  sim.Time
+		want sim.Duration
+	}{
+		{"far before the edge", 0, wire},
+		{"one wire-latency before From", from.Add(-wire), wire},
+		{"just inside WireLatency of From", from.Add(-wire + 1), wire - 1},
+		{"one tick before From", from - 1, 1},
+		{"at From, clipped at To only when near", from, wire},
+		{"mid-window", from.Add(wire), wire},
+		{"one tick before To", to - 1, 1},
+		{"at To", to, wire},
+	}
+	for _, c := range cases {
+		if got := m.Lookahead(c.now); got != c.want {
+			t.Errorf("%s: Lookahead(%v) = %v, want %v", c.name, c.now, got, c.want)
+		}
+	}
+
+	// A partition edge clips the same way, and the bound never reaches 0
+	// even immediately before an edge.
+	m.SetFaultPlan(&FaultPlan{
+		Seed:       1,
+		Partitions: []Partition{{Src: -1, Dst: 3, From: from, To: to}},
+	})
+	if got := m.Lookahead(from - 1); got != 1 {
+		t.Errorf("partition edge: Lookahead(From-1) = %v, want 1", got)
+	}
+	if got := m.Lookahead(from.Add(-wire / 2)); got != wire/2 {
+		t.Errorf("partition edge: Lookahead(From-wire/2) = %v, want %v", got, wire/2)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/am"
+	"repro/internal/apps"
 	"repro/internal/cm5"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -20,14 +21,14 @@ import (
 // over a steady-state window (after the pools are warm), so they reflect
 // the per-packet cost, not one-time slab fills.
 type KernelBench struct {
-	Packets         uint64  `json:"packets"`
-	Events          uint64  `json:"events"`
-	Dispatches      uint64  `json:"dispatches"`
-	Handoffs        uint64  `json:"handoffs"`
-	WallNs          int64   `json:"wall_ns"`
-	NsPerEvent      float64 `json:"ns_per_event"`
-	EventsPerSec    float64 `json:"events_per_sec"`
-	NsPerDispatch   float64 `json:"ns_per_dispatch"`
+	Packets          uint64  `json:"packets"`
+	Events           uint64  `json:"events"`
+	Dispatches       uint64  `json:"dispatches"`
+	Handoffs         uint64  `json:"handoffs"`
+	WallNs           int64   `json:"wall_ns"`
+	NsPerEvent       float64 `json:"ns_per_event"`
+	EventsPerSec     float64 `json:"events_per_sec"`
+	NsPerDispatch    float64 `json:"ns_per_dispatch"`
 	DispatchesPerSec float64 `json:"dispatches_per_sec"`
 	// InlineEventFrac is the fraction of events the migrating kernel
 	// loop fired without any goroutine handoff (kernel callbacks, packet
@@ -35,6 +36,25 @@ type KernelBench struct {
 	InlineEventFrac float64 `json:"inline_event_frac"`
 	AllocsPerPacket float64 `json:"allocs_per_packet"`
 	AllocsPerEvent  float64 `json:"allocs_per_event"`
+}
+
+// ShardedBench reports the sharded-kernel pass: the same multi-node
+// packet storm run once on the sequential kernel and once sharded, with
+// the engines' own window/barrier counters. The virtual results are
+// verified identical between the two passes before the speedup is
+// computed.
+type ShardedBench struct {
+	Shards      int     `json:"shards"`
+	Nodes       int     `json:"nodes"`
+	Packets     uint64  `json:"packets"`
+	Events      uint64  `json:"events"`
+	WallNs      int64   `json:"wall_ns"`
+	NsPerEvent  float64 `json:"ns_per_event"`
+	Windows     uint64  `json:"windows"`
+	BarrierNs   int64   `json:"barrier_ns"`
+	BarrierFrac float64 `json:"barrier_frac"` // barrier time / total wall
+	SeqWallNs   int64   `json:"seq_wall_ns"`
+	Speedup     float64 `json:"speedup"` // sequential wall / sharded wall
 }
 
 // ExpBench is one experiment's wall-clock timing under the sequential
@@ -48,25 +68,35 @@ type ExpBench struct {
 // BenchResult is the full host-performance report written to
 // BENCH_kernel.json by `oamlab bench`.
 type BenchResult struct {
-	GoVersion    string      `json:"go_version"`
-	GOMAXPROCS   int         `json:"gomaxprocs"`
-	NumCPU       int         `json:"num_cpu"`
-	WorkerCounts []int       `json:"worker_counts"` // harness widths of the seq and par passes
-	Quick        bool        `json:"quick"`
+	GoVersion    string `json:"go_version"`
+	GOMAXPROCS   int    `json:"gomaxprocs"`
+	NumCPU       int    `json:"num_cpu"`
+	WorkerCounts []int  `json:"worker_counts"` // effective harness widths of the seq and par passes
+	// Shards is the engine shard count the harness cells requested
+	// (exp.Shards); EffectiveWorkers is the harness width after the
+	// cells × shards ≤ GOMAXPROCS budget.
+	Shards           int  `json:"shards"`
+	EffectiveWorkers int  `json:"effective_workers"`
+	Quick            bool `json:"quick"`
+	// Mode tags the artifact scale ("quick" or "full") so a consumer
+	// never compares numbers against a mismatched-scale baseline.
+	Mode string `json:"mode"`
 	// Warning flags a report whose seq-vs-par comparison is meaningless
 	// (GOMAXPROCS=1 serializes the parallel pass); consumers should not
 	// read Speedup as a parallelism regression then.
 	Warning string      `json:"warning,omitempty"`
 	Kernel  KernelBench `json:"kernel"`
+	// KernelSharded is the sharded-kernel storm (see ShardedBench).
+	KernelSharded ShardedBench `json:"kernel_sharded"`
 	// KernelObserved repeats the storm with a live obs metrics sink
 	// attached to every layer; ObsOverheadPct is the per-event host-time
 	// cost of that instrumentation relative to the uninstrumented pass.
 	KernelObserved KernelBench `json:"kernel_observed"`
 	ObsOverheadPct float64     `json:"obs_overhead_pct"`
 	Experiments    []ExpBench  `json:"experiments"`
-	SeqMsTotal  float64     `json:"seq_ms_total"`
-	ParMsTotal  float64     `json:"par_ms_total"`
-	Speedup     float64     `json:"speedup"`
+	SeqMsTotal     float64     `json:"seq_ms_total"`
+	ParMsTotal     float64     `json:"par_ms_total"`
+	Speedup        float64     `json:"speedup"`
 }
 
 // KernelStorm runs the kernel microbenchmark: warmup packets to fill the
@@ -153,6 +183,72 @@ func kernelStorm(warmup, packets int, observe func(*am.Universe)) KernelBench {
 	return kb
 }
 
+// KernelStormSharded measures the sharded kernel against the sequential
+// one on an identical workload: a nodes-wide ring storm (every node
+// streams small messages to its right neighbor while polling its own
+// arrivals). Both passes must produce identical virtual results — event
+// count and charged time — or the function panics, since that would break
+// the sharded kernel's core contract.
+func KernelStormSharded(nodes, packets, shards int) ShardedBench {
+	shards = apps.ResolveShards(shards, nodes)
+	seqWall, seqEvents, seqCharged, _, _ := kernelRingStorm(nodes, packets, 1)
+	wall, events, charged, windows, barrierNs := kernelRingStorm(nodes, packets, shards)
+	if events != seqEvents || charged != seqCharged {
+		panic(fmt.Sprintf("exp: sharded storm diverged from sequential: events %d vs %d, charged %v vs %v",
+			events, seqEvents, charged, seqCharged))
+	}
+	sb := ShardedBench{
+		Shards:    shards,
+		Nodes:     nodes,
+		Packets:   uint64(nodes * packets),
+		Events:    events,
+		WallNs:    wall.Nanoseconds(),
+		Windows:   windows,
+		BarrierNs: barrierNs,
+		SeqWallNs: seqWall.Nanoseconds(),
+	}
+	if events > 0 {
+		sb.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
+	}
+	if wall > 0 {
+		sb.BarrierFrac = float64(barrierNs) / float64(wall.Nanoseconds())
+		sb.Speedup = float64(seqWall.Nanoseconds()) / float64(wall.Nanoseconds())
+	}
+	return sb
+}
+
+// kernelRingStorm is one pass of the sharded storm at the given shard
+// count (1 = the sequential kernel).
+func kernelRingStorm(nodes, packets, shards int) (wall time.Duration, events uint64, charged sim.Duration, windows uint64, barrierNs int64) {
+	eng := sim.NewSharded(1, shards)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
+	received := make([]int, nodes)
+	h := u.Register("ring", func(c threads.Ctx, pkt *cm5.Packet) { received[pkt.Dst]++ })
+	start := time.Now()
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		ep := u.Endpoint(node)
+		dst := (node + 1) % nodes
+		for i := 0; i < packets; i++ {
+			ep.Send(c, dst, h, [4]uint64{uint64(i)}, nil)
+			if i%8 == 7 {
+				c.P.Charge(sim.Micros(2))
+				ep.PollAll(c)
+			}
+		}
+		for received[node] < packets {
+			c.P.Charge(sim.Micros(2))
+			ep.PollAll(c)
+		}
+	})
+	wall = time.Since(start)
+	if err != nil {
+		panic(fmt.Sprintf("exp: ring storm (shards=%d) deadlocked: %v", shards, err))
+	}
+	w, b := eng.WindowStats()
+	return wall, eng.Events(), eng.Charged(), w, b.Nanoseconds()
+}
+
 // benchSuite lists the experiments timed by Bench, in `oamlab all` order.
 var benchSuite = []struct {
 	name string
@@ -184,24 +280,47 @@ func Bench(scale Scale) (*BenchResult, error) {
 	if scale.Quick {
 		warmup, packets = 5_000, 20_000
 	}
-	res := &BenchResult{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Quick:      scale.Quick,
-		Kernel:     KernelStorm(warmup, packets),
+	mode := "full"
+	if scale.Quick {
+		mode = "quick"
 	}
+	res := &BenchResult{
+		GoVersion:        runtime.Version(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		NumCPU:           runtime.NumCPU(),
+		Shards:           Shards,
+		EffectiveWorkers: EffectiveWorkers(),
+		Quick:            scale.Quick,
+		Mode:             mode,
+		Kernel:           KernelStorm(warmup, packets),
+	}
+	// Sharded pass: a ring storm at min(NumCPU, nodes) shards (forced to
+	// at least 2 so the windowed path is always exercised, even on a
+	// single-CPU host — the speedup is then < 1 and flagged below).
+	ringNodes, ringPackets := 8, packets/4
+	shards := runtime.NumCPU()
+	if shards < 2 {
+		shards = 2
+	}
+	res.KernelSharded = KernelStormSharded(ringNodes, ringPackets, shards)
 	res.KernelObserved, _ = KernelStormObserved(warmup, packets)
 	if res.Kernel.NsPerEvent > 0 {
 		res.ObsOverheadPct = 100 * (res.KernelObserved.NsPerEvent/res.Kernel.NsPerEvent - 1)
 	}
 	if res.GOMAXPROCS == 1 {
-		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par speedup does not measure harness parallelism"
+		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par and seq-vs-sharded speedups do not measure parallelism"
 	}
 	saved := Workers
 	defer func() { Workers = saved }()
 	res.Experiments = make([]ExpBench, len(benchSuite))
 	res.WorkerCounts = []int{1, res.GOMAXPROCS}
+	if Shards > 1 {
+		// The cells × shards budget caps the parallel pass width.
+		saved := Workers
+		Workers = res.GOMAXPROCS
+		res.WorkerCounts[1] = EffectiveWorkers()
+		Workers = saved
+	}
 	for pass, w := range res.WorkerCounts {
 		Workers = w
 		for i, e := range benchSuite {
@@ -246,6 +365,9 @@ func (r *BenchResult) Table() *Table {
 			"virtual results are byte-identical at any worker count; only wall time changes",
 			fmt.Sprintf("live obs metrics sink: %.0f ns/event (%+.1f%% vs disabled, %.3f allocs/packet)",
 				r.KernelObserved.NsPerEvent, r.ObsOverheadPct, r.KernelObserved.AllocsPerPacket),
+			fmt.Sprintf("sharded kernel: %d shards over %d nodes, %.0f ns/event, %d windows, %.1f%% barrier, %.2fx vs sequential",
+				r.KernelSharded.Shards, r.KernelSharded.Nodes, r.KernelSharded.NsPerEvent,
+				r.KernelSharded.Windows, 100*r.KernelSharded.BarrierFrac, r.KernelSharded.Speedup),
 		},
 	}
 	if r.Warning != "" {

@@ -40,7 +40,7 @@ type ChaosRow struct {
 func Chaos(scale Scale) ([]ChaosRow, error) {
 	drops := []float64{0, 0.01, 0.02, 0.05}
 
-	triCfg := triangle.Config{Side: 6, Empty: -1, Seed: 7}
+	triCfg := triangle.Config{Side: 6, Empty: -1, Seed: 7, Shards: Shards}
 	triNodes := 8
 	tspCities, tspSlaves := 12, 8
 	crashAt := sim.Time(100 * sim.Millisecond)
@@ -48,7 +48,9 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		triCfg.Side = 5
 		triNodes = 4
 		tspCities, tspSlaves = 9, 3
-		crashAt = sim.Time(30 * sim.Millisecond)
+		// Early enough that the crashed slave always holds an unfinished
+		// lease, so every crash row exercises the watchdog re-issue path.
+		crashAt = sim.Time(15 * sim.Millisecond)
 	}
 	if scale.MaxP > 0 {
 		if triNodes > scale.MaxP {
@@ -123,7 +125,7 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 				{Src: tspSlaves, Dst: -1, From: 0, To: sim.Time(math.MaxInt64)},
 			}}
 		}
-		cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Fault: plan}
+		cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Shards: Shards, Fault: plan}
 		res, st, err := tsp.RunChaos(tspSlaves, cfg)
 		if err != nil {
 			return fmt.Errorf("chaos tsp drop=%g crashes=%d part=%d: %w", j.drop, j.crashes, part, err)
@@ -191,7 +193,7 @@ func ChaosNodeTable(scale Scale) (*Table, error) {
 		crashAt = sim.Time(30 * sim.Millisecond)
 	}
 	cfg := tsp.ChaosConfig{
-		Cities: cities, Seed: 12,
+		Cities: cities, Seed: 12, Shards: Shards,
 		Fault: &cm5.FaultPlan{
 			Seed: 42, DropProb: 0.02, DupProb: 0.01,
 			Crashes: []cm5.Crash{{Node: slaves, At: crashAt}},

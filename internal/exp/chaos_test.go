@@ -17,9 +17,13 @@ func TestChaosQuick(t *testing.T) {
 		if !r.OK {
 			t.Errorf("%s drop=%.0f%% crashes=%d: wrong answer", r.App, r.DropPct, r.Crashes)
 		}
-		// Only the partitioned row may abandon messages: its unreachable
-		// slave exhausts MaxAttempts by design (TestChaosPartitionRow).
-		if r.GaveUp != 0 && r.Partitioned == 0 {
+		// Only rows with an unreachable node may abandon messages: the
+		// partitioned slave exhausts MaxAttempts by design
+		// (TestChaosPartitionRow), and a crashed node's in-flight traffic
+		// is abandoned after MaxAttempts the same way — bounded
+		// degradation, not a reliability failure. Pure-loss rows must
+		// deliver everything.
+		if r.GaveUp != 0 && r.Partitioned == 0 && r.Crashes == 0 {
 			t.Errorf("%s drop=%.0f%% crashes=%d: reliable channel gave up %d times",
 				r.App, r.DropPct, r.Crashes, r.GaveUp)
 		}

@@ -14,16 +14,45 @@ import (
 // either way, because cells write their results by index.
 var Workers = runtime.GOMAXPROCS(0)
 
-// forEach runs fn(0) .. fn(n-1) across min(Workers, n) goroutines. fn must
+// Shards is the engine shard count experiment cells request for their app
+// runs (see apps.ResolveShards: 0/1 sequential, negative auto). Results
+// are bit-identical at any value. When both the harness and the engines
+// parallelize, EffectiveWorkers keeps cells × shards within the host
+// budget.
+var Shards = 1
+
+// EffectiveWorkers is the harness width actually used: Workers, shrunk so
+// that concurrent cells × shard runners per cell never exceeds
+// GOMAXPROCS. Without the cap, every cell would spin Shards goroutines of
+// its own and the host would thrash on oversubscription.
+func EffectiveWorkers() int {
+	w := Workers
+	if w < 1 {
+		w = 1
+	}
+	s := Shards
+	if s < 0 {
+		s = runtime.NumCPU()
+	}
+	if s > 1 {
+		if budget := runtime.GOMAXPROCS(0) / s; budget < w {
+			w = budget
+		}
+		if w < 1 {
+			w = 1
+		}
+	}
+	return w
+}
+
+// forEach runs fn(0) .. fn(n-1) across min(EffectiveWorkers, n)
+// goroutines. fn must
 // deposit its result at index i of a pre-sized slice so that merge order
 // is the loop order, independent of goroutine scheduling. All cells run
 // even after a failure; the returned error is the lowest-index one, again
 // so the outcome does not depend on scheduling.
 func forEach(n int, fn func(i int) error) error {
-	w := Workers
-	if w < 1 {
-		w = 1
-	}
+	w := EffectiveWorkers()
 	if w > n {
 		w = n
 	}

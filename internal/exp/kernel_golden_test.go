@@ -5,14 +5,16 @@ import (
 )
 
 // chaosGoldenHashes are the fault-trace hashes of the quick-scale chaos
-// sweep's TSP rows (the rows with a fault layer), recorded from the seed
-// kernel before the direct-handoff scheduler rewrite. The fault trace
-// hashes every drop/dup/crash decision with its virtual timestamp, so any
-// change to event order or timing anywhere in the stack shows up here.
+// sweep's TSP rows (the rows with a fault layer), re-recorded when fault
+// randomness moved to per-flight counter-seeded streams (which also
+// re-timed the quick crash rows). The fault trace hashes every
+// drop/dup/crash decision with its virtual timestamp, so any change to
+// event order or timing anywhere in the stack shows up here — and it must
+// not change with the shard count.
 var chaosGoldenHashes = []uint64{
-	0x65595602f4e15059, 0x97610ea4b5f84710, 0xe41e5bca2c5c1758,
-	0xc437904a618d42b4, 0xa1bbc8bb4db2cb22, 0xe8858455bac5cc8a,
-	0xdc018251e5f87248,
+	0x8897616b4b673a9a, 0x45934826adc7b794, 0xb9785eae9b6519a7,
+	0x52812ce3e2bb2528, 0x83c5e4df11f84196, 0x37ab4a5383737565,
+	0x488cf296e3595a7f,
 	// The permanently-partitioned-slave row (appended with the
 	// MaxAttempts-exhausted coverage; recorded at introduction).
 	0x9e9f6e023b444713,

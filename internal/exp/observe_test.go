@@ -15,7 +15,7 @@ import (
 // ORPC, seed 102): the trace is a byte-exact transcript of the schedule,
 // so any change to event order or timing anywhere in the stack shows up
 // here. Re-record deliberately when the kernel or cost model changes.
-const traceGoldenTSP uint64 = 0x8ce87208b876c4ba
+const traceGoldenTSP uint64 = 0x5e6f7a6957a7db81
 
 // observedTSP runs the quick 4-node TSP under ORPC with every sink on.
 func observedTSP(t *testing.T) (*obs.Collector, apps.Result) {

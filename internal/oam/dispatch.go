@@ -82,10 +82,12 @@ func (s *Stats) SuccessPercent() float64 {
 
 // Dispatcher runs remote-procedure bodies optimistically. One dispatcher
 // serves a whole universe; per-procedure statistics belong to the RPC
-// layer above.
+// layer above. Counters are kept per node — each increments only from its
+// own node's polling context — so dispatches on different engine shards
+// never contend; Stats sums them.
 type Dispatcher struct {
 	opts  Options
-	stats Stats
+	stats []Stats
 	probe Probe
 }
 
@@ -107,11 +109,43 @@ func (d *Dispatcher) SetProbe(p Probe) { d.probe = p }
 // NewDispatcher returns a dispatcher with the given options.
 func NewDispatcher(opts Options) *Dispatcher { return &Dispatcher{opts: opts} }
 
+// SetNodes sizes the per-node counter table. Callers that know the
+// universe size (the RPC runtime) call it up front; otherwise the table
+// grows on first use per node, which is only safe on a sequential engine.
+func (d *Dispatcher) SetNodes(n int) {
+	if n > len(d.stats) {
+		grown := make([]Stats, n)
+		copy(grown, d.stats)
+		d.stats = grown
+	}
+}
+
+// nodeStats returns node's counter slot.
+func (d *Dispatcher) nodeStats(node int) *Stats {
+	if node >= len(d.stats) {
+		d.SetNodes(node + 1)
+	}
+	return &d.stats[node]
+}
+
 // Options returns the dispatcher's configuration.
 func (d *Dispatcher) Options() Options { return d.opts }
 
-// Stats returns a snapshot of the dispatch counters.
-func (d *Dispatcher) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the dispatch counters, summed across nodes.
+func (d *Dispatcher) Stats() Stats {
+	var out Stats
+	for i := range d.stats {
+		s := &d.stats[i]
+		out.Total += s.Total
+		out.Succeeded += s.Succeeded
+		out.Promoted += s.Promoted
+		out.Nacked += s.Nacked
+		for r := range s.ByReason {
+			out.ByReason[r] += s.ByReason[r]
+		}
+	}
+	return out
+}
 
 // NewThreadEnv returns an Env in thread mode, for procedure bodies that
 // always execute as threads (the Traditional RPC path). Every Env
@@ -129,7 +163,8 @@ func NewThreadEnv(c threads.Ctx, ep *am.Endpoint, d *Dispatcher) *Env {
 // on a lent auxiliary process so that a blocked execution can be adopted
 // as a thread without re-execution.
 func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(*Env)) (Outcome, Reason) {
-	d.stats.Total++
+	st := d.nodeStats(ep.Node().ID())
+	st.Total++
 	if d.probe != nil {
 		d.probe.Attempt(c.P.Now(), ep.Node().ID(), name, d.opts.Strategy)
 	}
@@ -140,19 +175,19 @@ func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(
 	reason, aborted := attempt(env, body)
 	if !aborted {
 		env.commit()
-		d.stats.Succeeded++
+		st.Succeeded++
 		d.settle(c, ep, name, Completed, 0)
 		return Completed, 0
 	}
 	env.undo()
-	d.stats.ByReason[reason]++
+	st.ByReason[reason]++
 	if d.opts.Strategy == Nack {
-		d.stats.Nacked++
+		st.Nacked++
 		d.settle(c, ep, name, NackNeeded, reason)
 		return NackNeeded, reason
 	}
 	// Rerun: undo everything and run the whole procedure as a thread.
-	d.stats.Promoted++
+	st.Promoted++
 	c.S.Create(c, "oam/"+name, true, func(c2 threads.Ctx) {
 		env2 := &Env{C: c2, ep: ep, d: d, optimistic: false, name: name}
 		body(env2)
@@ -197,22 +232,22 @@ func (d *Dispatcher) runLent(c threads.Ctx, ep *am.Endpoint, name string, body f
 		settled bool
 	)
 	env := &Env{ep: ep, d: d, optimistic: true, name: name}
+	st := d.nodeStats(ep.Node().ID())
 	env.onPromote = func(r Reason) {
 		// First promotion: report back to the dispatcher. The lender is
 		// still parked; it wakes when the adopted thread detaches.
 		outcome, reason, settled = Promoted, r, true
-		d.stats.ByReason[r]++
-		d.stats.Promoted++
+		st.ByReason[r]++
+		st.Promoted++
 	}
-	eng := c.P.Engine()
-	proc := eng.Spawn("oam/"+name, func(p *sim.Proc) {
+	proc := c.P.Shard().Spawn("oam/"+name, func(p *sim.Proc) {
 		env.C = threads.Ctx{P: p, T: nil, S: s}
 		body(env)
 		if env.C.T == nil {
 			// Ran to completion inside the handler.
 			env.commit()
 			outcome, settled = Completed, true
-			d.stats.Succeeded++
+			st.Succeeded++
 			s.FinishLent()
 			return
 		}

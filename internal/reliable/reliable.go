@@ -98,15 +98,20 @@ type inLink struct {
 	seen map[uint64]struct{}
 }
 
-// nodeState is one node's view of the transport.
+// nodeState is one node's view of the transport. It is only ever touched
+// from code running on its node (handlers, the retransmit daemon, timer
+// expiry on the node's shard), so per-node counters and timers stay
+// shard-local under a sharded engine.
 type nodeState struct {
 	id            int
 	ep            *am.Endpoint
+	sh            *sim.Shard
 	out           map[int]*outLink
 	in            map[int]*inLink
 	daemon        *threads.Thread
 	daemonBlocked bool
 	due           []*pendingMsg
+	stats         Stats
 }
 
 func (ns *nodeState) outLink(dst int) *outLink {
@@ -130,12 +135,10 @@ func (ns *nodeState) inLink(src int) *inLink {
 // Transport is the reliable channel, installed on a Universe by Attach.
 type Transport struct {
 	u      *am.Universe
-	eng    *sim.Engine
 	opts   Options
 	dataH  am.HandlerID
 	ackH   am.HandlerID
 	nodes  []*nodeState
-	stats  Stats
 	nstats []NodeStats
 }
 
@@ -144,14 +147,14 @@ type Transport struct {
 // universe's transport. Like handler registration, call before the
 // simulation starts.
 func Attach(u *am.Universe, opts Options) *Transport {
-	t := &Transport{u: u, eng: u.Machine().Engine(), opts: opts.withDefaults()}
+	t := &Transport{u: u, opts: opts.withDefaults()}
 	t.dataH = u.Register("reliable/data", t.handleData)
 	t.ackH = u.Register("reliable/ack", t.handleAck)
 	t.nodes = make([]*nodeState, u.N())
 	t.nstats = make([]NodeStats, u.N())
 	for i := 0; i < u.N(); i++ {
 		ns := &nodeState{
-			id: i, ep: u.Endpoint(i),
+			id: i, ep: u.Endpoint(i), sh: u.Endpoint(i).Node().Shard(),
 			out: make(map[int]*outLink), in: make(map[int]*inLink),
 		}
 		t.nodes[i] = ns
@@ -162,8 +165,23 @@ func Attach(u *am.Universe, opts Options) *Transport {
 	return t
 }
 
-// Stats returns a snapshot of the transport counters.
-func (t *Transport) Stats() Stats { return t.stats }
+// Stats returns a snapshot of the transport counters, summed across
+// nodes.
+func (t *Transport) Stats() Stats {
+	var out Stats
+	for _, ns := range t.nodes {
+		s := &ns.stats
+		out.DataSent += s.DataSent
+		out.Retransmits += s.Retransmits
+		out.AcksSent += s.AcksSent
+		out.AcksReceived += s.AcksReceived
+		out.StaleAcks += s.StaleAcks
+		out.Delivered += s.Delivered
+		out.DupsSuppressed += s.DupsSuppressed
+		out.GaveUp += s.GaveUp
+	}
+	return out
+}
 
 // NodeStats returns the counters attributed to node i.
 func (t *Transport) NodeStats(i int) NodeStats { return t.nstats[i] }
@@ -188,7 +206,7 @@ func (t *Transport) Send(c threads.Ctx, ep *am.Endpoint, dst int, h am.HandlerID
 		payload: payload, bulk: bulk, attempts: 1, backoff: t.opts.RTO,
 	}
 	ol.pending[seq] = pm
-	t.stats.DataSent++
+	ns.stats.DataSent++
 	ep.SendRaw(c, dst, t.dataH, ew, payload, bulk)
 	// The draining send may already have serviced this message's ack.
 	if !pm.done {
@@ -215,15 +233,16 @@ func (t *Transport) TrySend(c threads.Ctx, ep *am.Endpoint, dst int, h am.Handle
 		payload: payload, bulk: bulk, attempts: 1, backoff: t.opts.RTO,
 	}
 	ol.pending[seq] = pm
-	t.stats.DataSent++
+	ns.stats.DataSent++
 	t.arm(ns, pm, t.opts.RTO)
 	return true
 }
 
-// arm schedules pm's retransmit timer. Expiry runs in kernel context,
-// which cannot send; it queues the message and wakes the node's daemon.
+// arm schedules pm's retransmit timer on the node's shard. Expiry runs in
+// kernel context, which cannot send; it queues the message and wakes the
+// node's daemon.
 func (t *Transport) arm(ns *nodeState, pm *pendingMsg, d sim.Duration) {
-	pm.timer = t.eng.AfterTimer(d, func() {
+	pm.timer = ns.sh.AfterTimer(d, func() {
 		pm.timer = nil
 		if pm.done {
 			return
@@ -253,12 +272,12 @@ func (t *Transport) daemonLoop(c threads.Ctx, ns *nodeState) {
 			if pm.attempts >= t.opts.MaxAttempts {
 				pm.done = true
 				delete(ol.pending, pm.seq)
-				t.stats.GaveUp++
+				ns.stats.GaveUp++
 				t.nstats[ns.id].GaveUp++
 				continue
 			}
 			pm.attempts++
-			t.stats.Retransmits++
+			ns.stats.Retransmits++
 			t.nstats[ns.id].Retransmits++
 			ns.ep.SendRaw(c, pm.dst, t.dataH,
 				[4]uint64{pm.seq, uint64(pm.h), pm.w0, pm.w1}, pm.payload, pm.bulk)
@@ -294,25 +313,25 @@ func (t *Transport) handleData(c threads.Ctx, pkt *cm5.Packet) {
 			il.cum++
 		}
 	}
-	t.stats.AcksSent++
+	ns.stats.AcksSent++
 	ns.ep.SendRaw(c, pkt.Src, t.ackH, [4]uint64{seq, il.cum, 0, 0}, nil, false)
 	if dup {
-		t.stats.DupsSuppressed++
+		ns.stats.DupsSuppressed++
 		t.nstats[pkt.Dst].DupsSuppressed++
 		return
 	}
-	t.stats.Delivered++
+	ns.stats.Delivered++
 	// De-frame into a pooled packet for the inner handler. Deliver leaves
 	// ownership with us (the transport), so recycle the struct afterwards;
 	// the payload buffer passes to the application untouched.
-	m := ns.ep.Node().Machine()
-	inner := m.AllocPacket()
+	node := ns.ep.Node()
+	inner := node.AllocPacket()
 	inner.Src, inner.Dst, inner.Kind = pkt.Src, pkt.Dst, pkt.Kind
 	inner.Handler = int(pkt.W1)
 	inner.W0, inner.W1 = pkt.W2, pkt.W3
 	inner.Payload = pkt.Payload
 	ns.ep.Deliver(c, inner)
-	m.ReleasePacket(inner)
+	node.ReleasePacket(inner)
 }
 
 // handleAck retires pending messages: the per-seq ack plus everything at
@@ -321,7 +340,7 @@ func (t *Transport) handleAck(c threads.Ctx, pkt *cm5.Packet) {
 	ns := t.nodes[pkt.Dst]
 	ol := ns.outLink(pkt.Src)
 	seq, cum := pkt.W0, pkt.W1
-	t.stats.AcksReceived++
+	ns.stats.AcksReceived++
 	retired := false
 	retire := func(pm *pendingMsg, q uint64) {
 		pm.done = true
@@ -343,6 +362,6 @@ func (t *Transport) handleAck(c threads.Ctx, pkt *cm5.Packet) {
 		}
 	}
 	if !retired {
-		t.stats.StaleAcks++
+		ns.stats.StaleAcks++
 	}
 }

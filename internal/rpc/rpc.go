@@ -62,7 +62,6 @@ type Runtime struct {
 	nackH  am.HandlerID
 	nodes  []*nodeState
 	procs  []*Proc
-	stale  uint64 // replies/nacks for calls no longer in the table
 	probe  Probe
 }
 
@@ -84,10 +83,13 @@ type Probe interface {
 // SetProbe installs a call probe; pass nil to disable.
 func (rt *Runtime) SetProbe(p Probe) { rt.probe = p }
 
-// nodeState is the client-side call table of one node.
+// nodeState is the client-side call table of one node. It is only ever
+// touched from code running on that node, so it needs no locking under a
+// sharded engine.
 type nodeState struct {
 	nextID uint64
 	calls  map[uint64]*call
+	stale  uint64 // replies/nacks for calls no longer in the table
 }
 
 // call is one outstanding synchronous call.
@@ -114,6 +116,8 @@ func New(u *am.Universe, opts Options) *Runtime {
 		asyncOpts.Strategy = oam.Rerun
 	}
 	rt.dAsync = oam.NewDispatcher(asyncOpts)
+	rt.d.SetNodes(u.N())
+	rt.dAsync.SetNodes(u.N())
 	rt.nodes = make([]*nodeState, u.N())
 	for i := range rt.nodes {
 		rt.nodes[i] = &nodeState{calls: make(map[uint64]*call)}
@@ -141,7 +145,7 @@ func (rt *Runtime) handleReply(c threads.Ctx, pkt *cm5.Packet) {
 	if !ok || cl.flag.IsSet() {
 		// The caller gave up (deadline) or already completed: on a faulty
 		// network late replies are normal, not a protocol violation.
-		rt.stale++
+		ns.stale++
 		if rt.probe != nil {
 			rt.probe.StaleReply(c.P.Now(), pkt.Dst)
 		}
@@ -155,7 +159,7 @@ func (rt *Runtime) handleNack(c threads.Ctx, pkt *cm5.Packet) {
 	ns := rt.nodes[pkt.Dst]
 	cl, ok := ns.calls[pkt.W0]
 	if !ok || cl.flag.IsSet() {
-		rt.stale++
+		ns.stale++
 		if rt.probe != nil {
 			rt.probe.StaleReply(c.P.Now(), pkt.Dst)
 		}
@@ -168,7 +172,13 @@ func (rt *Runtime) handleNack(c threads.Ctx, pkt *cm5.Packet) {
 // StaleReplies counts replies and nacks that arrived for calls no longer
 // waiting — abandoned by a deadline, or already resolved. Always zero on
 // a fault-free network.
-func (rt *Runtime) StaleReplies() uint64 { return rt.stale }
+func (rt *Runtime) StaleReplies() uint64 {
+	var n uint64
+	for _, ns := range rt.nodes {
+		n += ns.stale
+	}
+	return n
+}
 
 // ProcStats are the per-procedure counters the termination routine of the
 // paper's generated stubs prints; Tables 2 and 3 are built from them.
@@ -198,14 +208,16 @@ func (s *ProcStats) SuccessPercent() float64 {
 // asynchronous procedures).
 type Impl func(e *oam.Env, caller int, arg []byte) []byte
 
-// Proc is a defined remote procedure.
+// Proc is a defined remote procedure. Counters are kept per node (the
+// node whose context increments them) so client and server sides never
+// contend under a sharded engine; Stats sums them.
 type Proc struct {
 	rt    *Runtime
 	name  string
 	h     am.HandlerID
 	async bool
 	impl  Impl
-	stats ProcStats
+	stats []ProcStats
 }
 
 // Define registers a synchronous remote procedure.
@@ -219,7 +231,8 @@ func (rt *Runtime) DefineAsync(name string, impl Impl) *Proc {
 }
 
 func (rt *Runtime) define(name string, async bool, impl Impl) *Proc {
-	p := &Proc{rt: rt, name: name, async: async, impl: impl}
+	p := &Proc{rt: rt, name: name, async: async, impl: impl,
+		stats: make([]ProcStats, rt.u.N())}
 	p.h = rt.u.Register("rpc/"+name, p.serve)
 	rt.procs = append(rt.procs, p)
 	return p
@@ -229,8 +242,22 @@ func (rt *Runtime) define(name string, async bool, impl Impl) *Proc {
 func (p *Proc) Name() string { return p.name }
 
 // Stats returns a snapshot of the per-procedure counters (the paper's
-// generated termination routine prints these).
-func (p *Proc) Stats() ProcStats { return p.stats }
+// generated termination routine prints these), summed across nodes.
+func (p *Proc) Stats() ProcStats {
+	var out ProcStats
+	for i := range p.stats {
+		s := &p.stats[i]
+		out.Calls += s.Calls
+		out.OAMs += s.OAMs
+		out.Successes += s.Successes
+		out.Promoted += s.Promoted
+		out.Nacks += s.Nacks
+		out.Threads += s.Threads
+		out.Retries += s.Retries
+		out.Timeouts += s.Timeouts
+	}
+	return out
+}
 
 // serve is the request handler: it runs on the polling context of the
 // server node and dispatches the call according to the runtime mode.
@@ -241,8 +268,9 @@ func (p *Proc) serve(c threads.Ctx, pkt *cm5.Packet) {
 	ep := rt.u.Endpoint(pkt.Dst)
 	callID, caller, arg := pkt.W0, pkt.Src, pkt.Payload
 
+	st := &p.stats[pkt.Dst]
 	if rt.opts.Mode == TRPC {
-		p.stats.Threads++
+		st.Threads++
 		c.S.Create(c, "rpc/"+p.name, !rt.opts.BackOfQueue, func(c2 threads.Ctx) {
 			env := oam.NewThreadEnv(c2, ep, rt.d)
 			res := p.impl(env, caller, arg)
@@ -257,7 +285,7 @@ func (p *Proc) serve(c threads.Ctx, pkt *cm5.Packet) {
 	if p.async {
 		d = rt.dAsync
 	}
-	p.stats.OAMs++
+	st.OAMs++
 	outcome, _ := d.Run(c, ep, p.name, func(e *oam.Env) {
 		res := p.impl(e, caller, arg)
 		if !p.async {
@@ -266,11 +294,11 @@ func (p *Proc) serve(c threads.Ctx, pkt *cm5.Packet) {
 	})
 	switch outcome {
 	case oam.Completed:
-		p.stats.Successes++
+		st.Successes++
 	case oam.Promoted:
-		p.stats.Promoted++
+		st.Promoted++
 	case oam.NackNeeded:
-		p.stats.Nacks++
+		st.Nacks++
 		ep.Send(c, caller, rt.nackH, [4]uint64{callID}, nil)
 	}
 }
@@ -305,7 +333,7 @@ func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
 	}
 	var retries uint64
 	for {
-		p.stats.Calls++
+		p.stats[me].Calls++
 		c.P.Charge(cost.StubClient)
 		ns.nextID++
 		id := ns.nextID
@@ -321,7 +349,7 @@ func (p *Proc) Call(c threads.Ctx, server int, arg []byte) []byte {
 			return cl.reply
 		}
 		// Nacked: back off (bounded exponential) and retry.
-		p.stats.Retries++
+		p.stats[me].Retries++
 		retries++
 		c.P.Charge(backoff)
 		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
@@ -360,23 +388,23 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 	}
 	rt := p.rt
 	cost := rt.u.Machine().Cost()
-	eng := rt.u.Machine().Engine()
+	sh := c.Node().Shard() // deadline timers are node-local state
 	me := c.Node().ID()
 	ns := rt.nodes[me]
-	deadline := eng.Now().Add(timeout)
+	deadline := sh.Now().Add(timeout)
 	backoff := rt.opts.NackBackoffBase
 	if rt.probe != nil {
 		rt.probe.CallStart(c.P.Now(), me, p.name)
 	}
 	var retries uint64
 	for {
-		p.stats.Calls++
+		p.stats[me].Calls++
 		c.P.Charge(cost.StubClient)
 		ns.nextID++
 		id := ns.nextID
 		cl := &call{}
 		ns.calls[id] = cl
-		timer := eng.AtTimer(deadline, func() {
+		timer := sh.AtTimer(deadline, func() {
 			if !cl.flag.IsSet() {
 				cl.timedOut = true
 				cl.flag.Set()
@@ -387,7 +415,7 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 		timer.Cancel()
 		delete(ns.calls, id)
 		if cl.timedOut {
-			p.stats.Timeouts++
+			p.stats[me].Timeouts++
 			if rt.probe != nil {
 				rt.probe.CallEnd(c.P.Now(), me, p.name, true, retries)
 			}
@@ -399,12 +427,12 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 			}
 			return cl.reply, nil
 		}
-		p.stats.Retries++
+		p.stats[me].Retries++
 		retries++
 		c.P.Charge(backoff)
 		backoff = nextBackoff(backoff, rt.opts.NackBackoffMax)
-		if eng.Now() >= deadline {
-			p.stats.Timeouts++
+		if sh.Now() >= deadline {
+			p.stats[me].Timeouts++
 			if rt.probe != nil {
 				rt.probe.CallEnd(c.P.Now(), me, p.name, true, retries)
 			}
@@ -438,8 +466,8 @@ func (p *Proc) CallAsync(c threads.Ctx, server int, arg []byte) {
 	if !p.async {
 		panic(fmt.Sprintf("rpc: CallAsync of synchronous procedure %q", p.name))
 	}
-	p.stats.Calls++
 	me := c.Node().ID()
+	p.stats[me].Calls++
 	if p.rt.probe != nil {
 		p.rt.probe.CallStart(c.P.Now(), me, p.name)
 	}

@@ -1,10 +1,11 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
+	"time"
 )
 
 // heapSizeHint pre-sizes the event heap so steady-state simulations never
@@ -26,158 +27,259 @@ type Action interface {
 	Run()
 }
 
+// WindowHook lets the machine layer participate in sharded execution.
+// Lookahead(now) bounds the width of the next parallel window: no event
+// executed inside [now, now+Lookahead) may schedule work on another shard
+// earlier than the window's end. Barrier runs between windows, on the
+// coordinator goroutine with every shard quiescent; it is where
+// cross-shard traffic buffered during the window is merged and scheduled
+// in canonical order.
+type WindowHook interface {
+	Lookahead(now Time) Duration
+	Barrier()
+}
+
 // Engine is the discrete-event simulation kernel. Create one with New,
 // spawn processes with Spawn, and drive the simulation with Run.
 //
-// All methods must be called either from kernel callbacks (At/After
-// functions) or from the currently running process; the kernel is strictly
-// sequential and is not safe for use from other goroutines.
+// A sequential engine (New, or NewSharded with one shard) is the classic
+// kernel: strictly single-threaded, with the migrating direct-handoff
+// event loop. All methods must then be called from kernel callbacks or
+// from the currently running process.
 //
-// There is no dedicated kernel goroutine: the event loop migrates. The
-// goroutine that calls Run starts the loop; when a process yields, its
-// own goroutine becomes the kernel and keeps popping events in place, so
-// kernel callbacks and self-resumptions cost no goroutine switch at all,
-// and handing the virtual CPU to another process is a single channel
-// operation. Exactly one goroutine is the kernel at any instant.
+// A sharded engine (NewSharded with S > 1) partitions the simulation
+// across S shards, each an independent kernel over its own event heap and
+// process table, advancing in lockstep virtual-time windows whose width
+// is bounded by the WindowHook's lookahead. Work must be scheduled on the
+// shard that owns it (Shard(i)); the Engine-level scheduling methods
+// delegate to shard 0 for setup convenience. The contract — enforced by
+// the canonical event order (see heap.go) and barrier-time merging — is
+// that a sharded run is bit-identical to the sequential one.
 type Engine struct {
-	now     Time
-	seq     uint64
-	heap    eventHeap
-	free    *event // recycled events (single-threaded: no locking)
-	running *Proc
-	// doneCh hands the kernel role back to the goroutine blocked in
-	// Run/RunUntil (or, per victim, Shutdown) when the loop ends its
-	// tenure on a process goroutine.
-	doneCh   chan struct{}
-	deadline Time // event horizon of the current Run/RunUntil
-	rng      *rand.Rand
-	tracer   Tracer
-	probe    Probe
-	procs    []*Proc // live (spawned, not yet finished) processes, unordered
-	freeProc *Proc   // finished procs whose goroutine+channel await reuse
-	stopped  bool    // set by Stop
-	killing  bool    // set by Shutdown
-	failure  error
-	// kernelPanic holds a panic raised by a kernel callback (At/After fn
-	// or Action). It ends the run and is re-raised from Run/RunUntil on
-	// the caller's goroutine, matching the pre-migrating-loop behavior
-	// where callbacks always ran on the Run goroutine.
-	kernelPanic any
+	shards []*Shard
+	seed   int64
+	rng    *rand.Rand
+	probe  Probe
+	hook   WindowHook
 
-	// Stats counters, cheap enough to keep always-on.
-	events     uint64
-	dispatches uint64
-	handoffs   uint64
-	// chargedTotal accumulates every completed virtual-CPU charge; the
-	// virtual-time profiler checks its totals against this.
-	chargedTotal Duration
+	// userTracer receives trace records in sharded mode, where shards
+	// buffer transitions during windows and the coordinator flushes them
+	// in canonical order at barriers. Sequential engines bypass this and
+	// trace straight from the kernel loop.
+	userTracer Tracer
+	scratch    Proc // reusable carrier for flushed trace records
+
+	// globals is the cross-shard control queue of a sharded run: crash
+	// instants, collective releases — events that must fire at an exact
+	// instant before any shard's same-time work. Sequential engines keep
+	// these on the one shard's heap (classGlobal) instead.
+	globals []globalEvent
+	gseq    uint64
+
+	stopFlag atomic.Bool
+	deadline Time
+
+	runnersStarted bool
+	windows        uint64
+	barrierNs      int64
 }
 
-// New returns an engine whose random source is seeded with seed.
-// The same seed always yields the same simulation.
+// globalEvent is one entry in the sharded engine's control queue, ordered
+// by (at, key, seq) — the same canonical order classGlobal events get on a
+// sequential heap.
+type globalEvent struct {
+	at  Time
+	key uint64
+	seq uint64
+	fn  func()
+}
+
+// New returns a sequential engine whose random source is seeded with
+// seed. The same seed always yields the same simulation.
 func New(seed int64) *Engine {
-	return &Engine{
-		doneCh: make(chan struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
-		heap:   eventHeap{ev: make([]*event, 0, heapSizeHint)},
-	}
+	return NewSharded(seed, 1)
 }
 
-// Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+// NewSharded returns an engine with the given number of shards (clamped
+// below at 1). With one shard it is exactly the sequential kernel; with
+// more, Run executes the shards in parallel over lockstep virtual-time
+// windows. The same seed and workload yield the same simulation at any
+// shard count.
+func NewSharded(seed int64, shards int) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
+	e := &Engine{
+		seed: seed,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+	e.shards = make([]*Shard, shards)
+	for i := range e.shards {
+		e.shards[i] = newShard(e, i)
+	}
+	return e
+}
 
-// Rand returns the engine's deterministic random source.
+// sharded reports whether this engine runs more than one shard.
+func (e *Engine) sharded() bool { return len(e.shards) > 1 }
+
+// Shards returns the number of shards (1 for a sequential engine).
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Shard returns shard i. Shard 0 always exists.
+func (e *Engine) Shard(i int) *Shard { return e.shards[i] }
+
+// Seed returns the seed the engine was created with. Layers that need
+// order-independent randomness (per-flight jitter streams) derive their
+// own counter-seeded generators from it instead of sharing Rand.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Now returns the current virtual time. In a sharded run, shard clocks
+// agree at barriers; mid-window, use the owning shard's Now.
+func (e *Engine) Now() Time { return e.shards[0].now }
+
+// Rand returns the engine's deterministic random source. Its draws depend
+// on call order, so sharded-safe code must not use it from inside
+// windows; derive per-stream generators from Seed instead.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// SetTracer installs a tracer; pass nil to disable tracing.
-func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+// SetTracer installs a tracer; pass nil to disable tracing. In a sharded
+// engine, records are buffered per shard during windows and flushed in
+// canonical (time, process name, transition) order at barriers.
+func (e *Engine) SetTracer(t Tracer) {
+	if !e.sharded() {
+		e.shards[0].tracer = t
+		return
+	}
+	e.userTracer = t
+	for _, sh := range e.shards {
+		sh.buffered = t != nil
+	}
+}
 
 // SetProbe installs a process-accounting probe; pass nil to disable.
-func (e *Engine) SetProbe(p Probe) { e.probe = p }
+// Probes see events mid-window from multiple goroutines, so they are
+// only supported on sequential engines.
+func (e *Engine) SetProbe(p Probe) {
+	if p != nil && e.sharded() {
+		panic("sim: probes require a sequential engine (shards=1)")
+	}
+	e.probe = p
+	e.shards[0].probe = p
+}
+
+// SetWindowHook installs the machine layer's window hook (lookahead bound
+// and barrier merge). Only consulted by sharded runs.
+func (e *Engine) SetWindowHook(h WindowHook) { e.hook = h }
 
 // Charged reports the total virtual CPU time consumed by completed
-// charges so far (Charge in full; ChargeInterruptible by the amount
-// actually burned before completion or interruption).
-func (e *Engine) Charged() Duration { return e.chargedTotal }
+// charges so far, summed across shards.
+func (e *Engine) Charged() Duration {
+	var d Duration
+	for _, sh := range e.shards {
+		d += sh.chargedTotal
+	}
+	return d
+}
 
-// Events reports the number of events executed so far.
-func (e *Engine) Events() uint64 { return e.events }
+// Events reports the number of events executed so far, summed across
+// shards.
+func (e *Engine) Events() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.events
+	}
+	return n
+}
 
-// Dispatches reports the number of process control transfers so far.
-func (e *Engine) Dispatches() uint64 { return e.dispatches }
+// Dispatches reports the number of process control transfers so far,
+// summed across shards.
+func (e *Engine) Dispatches() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.dispatches
+	}
+	return n
+}
 
 // Handoffs reports how many dispatches crossed goroutines (one channel
-// operation each). Dispatches minus Handoffs is the number of resumes the
+// operation each). Dispatches minus Handoffs is the number of resumes a
 // yielding goroutine served to itself with zero channel operations.
-func (e *Engine) Handoffs() uint64 { return e.handoffs }
+func (e *Engine) Handoffs() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.handoffs
+	}
+	return n
+}
 
 // Live reports the number of spawned processes that have not finished.
-func (e *Engine) Live() int { return len(e.procs) }
+func (e *Engine) Live() int {
+	n := 0
+	for _, sh := range e.shards {
+		n += len(sh.procs)
+	}
+	return n
+}
 
-// alloc takes an event from the free list, refilling it a slab at a time.
-func (e *Engine) alloc() *event {
-	ev := e.free
-	if ev == nil {
-		chunk := make([]event, eventChunk)
-		for i := range chunk {
-			chunk[i].next = e.free
-			e.free = &chunk[i]
+// WindowStats reports how many parallel windows a sharded run executed
+// and the host time spent in barriers (merging cross-shard traffic).
+// Zero for sequential engines.
+func (e *Engine) WindowStats() (windows uint64, barrier time.Duration) {
+	return e.windows, time.Duration(e.barrierNs)
+}
+
+// At schedules fn on shard 0 at absolute time t; see Shard.At. On a
+// sequential engine this is the whole kernel.
+func (e *Engine) At(t Time, fn func()) { e.shards[0].At(t, fn) }
+
+// After schedules fn on shard 0, d from now.
+func (e *Engine) After(d Duration, fn func()) { e.shards[0].After(d, fn) }
+
+// AtAction schedules a pre-allocated Action on shard 0 at absolute time t.
+func (e *Engine) AtAction(t Time, a Action) { e.shards[0].AtAction(t, a) }
+
+// AfterAction schedules a pre-allocated Action on shard 0, d from now.
+func (e *Engine) AfterAction(d Duration, a Action) { e.shards[0].AfterAction(d, a) }
+
+// AtTimer is At returning a cancellable handle.
+func (e *Engine) AtTimer(t Time, fn func()) *Timer { return e.shards[0].AtTimer(t, fn) }
+
+// AfterTimer is After returning a cancellable handle.
+func (e *Engine) AfterTimer(d Duration, fn func()) *Timer { return e.shards[0].AfterTimer(d, fn) }
+
+// Spawn creates a process on shard 0; see Shard.Spawn.
+func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
+	return e.shards[0].Spawn(name, body)
+}
+
+// AtGlobal schedules fn as a global control transition at absolute time
+// t: at that instant it fires before every shard's same-time deliveries
+// and ordinary events, in ascending key order among same-time globals.
+// Crash points and collective releases use this so their position in the
+// total event order is identical in sequential and sharded runs. In a
+// sharded engine, globals run on the coordinator goroutine between
+// windows; they may touch any shard's state and schedule onto any shard.
+// AtGlobal must be called from setup code or barrier/global context, not
+// from inside a parallel window.
+func (e *Engine) AtGlobal(t Time, key uint64, fn func()) {
+	if !e.sharded() {
+		e.shards[0].schedule(t, classGlobal, key, evFunc, fn, nil, nil)
+		return
+	}
+	e.gseq++
+	e.globals = append(e.globals, globalEvent{at: t, key: key, seq: e.gseq, fn: fn})
+	sort.SliceStable(e.globals, func(i, j int) bool {
+		a, b := e.globals[i], e.globals[j]
+		if a.at != b.at {
+			return a.at < b.at
 		}
-		ev = e.free
-	}
-	e.free = ev.next
-	ev.next = nil
-	return ev
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.seq < b.seq
+	})
 }
-
-// release recycles a fired or surfaced-cancelled event. Bumping gen
-// invalidates any Timer still holding the pointer.
-func (e *Engine) release(ev *event) {
-	ev.gen++
-	ev.fn = nil
-	ev.act = nil
-	ev.proc = nil
-	ev.kind = evFunc
-	ev.cancelled = false
-	ev.next = e.free
-	e.free = ev
-}
-
-// schedule is the single entry point onto the event heap.
-func (e *Engine) schedule(t Time, kind eventKind, fn func(), act Action, p *Proc) *event {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
-	}
-	e.seq++
-	ev := e.alloc()
-	ev.at = t
-	ev.seq = e.seq
-	ev.kind = kind
-	ev.fn = fn
-	ev.act = act
-	ev.proc = p
-	e.heap.push(ev)
-	return ev
-}
-
-// At schedules fn to run in kernel context at absolute time t. Scheduling
-// in the past is a programming error. Kernel callbacks must not block or
-// call process-context methods such as Charge or Park.
-func (e *Engine) At(t Time, fn func()) { e.schedule(t, evFunc, fn, nil, nil) }
-
-// After schedules fn to run in kernel context d from now.
-func (e *Engine) After(d Duration, fn func()) { e.At(e.now.Add(d), fn) }
-
-// AtAction schedules a pre-allocated Action at absolute time t. Unlike At
-// it allocates nothing beyond a pooled event, so hot paths (packet
-// delivery) can schedule without producing garbage.
-func (e *Engine) AtAction(t Time, a Action) { e.schedule(t, evAction, nil, a, nil) }
-
-// AfterAction schedules a pre-allocated Action d from now.
-func (e *Engine) AfterAction(d Duration, a Action) { e.AtAction(e.now.Add(d), a) }
-
-// atProc schedules the resumption of p at time t without any closure.
-func (e *Engine) atProc(t Time, p *Proc) { e.schedule(t, evProc, nil, nil, p) }
 
 // Timer is a handle to a scheduled kernel callback that can be cancelled
 // before it fires. Handles stay safe across event recycling: a Timer
@@ -186,17 +288,6 @@ func (e *Engine) atProc(t Time, p *Proc) { e.schedule(t, evProc, nil, nil, p) }
 type Timer struct {
 	ev  *event
 	gen uint64
-}
-
-// AtTimer is At returning a cancellable handle.
-func (e *Engine) AtTimer(t Time, fn func()) *Timer {
-	ev := e.schedule(t, evFunc, fn, nil, nil)
-	return &Timer{ev: ev, gen: ev.gen}
-}
-
-// AfterTimer is After returning a cancellable handle.
-func (e *Engine) AfterTimer(d Duration, fn func()) *Timer {
-	return e.AtTimer(e.now.Add(d), fn)
 }
 
 // Cancel prevents the timer's callback from running and reports whether
@@ -211,9 +302,16 @@ func (t *Timer) Cancel() bool {
 	return true
 }
 
-// Stop terminates Run after the current event completes. Call Shutdown to
-// release the goroutines of any still-live processes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop terminates Run after the current event completes (sequential) or
+// at the next window barrier (sharded). Call Shutdown to release the
+// goroutines of any still-live processes.
+func (e *Engine) Stop() {
+	if !e.sharded() {
+		e.shards[0].stopped = true
+		return
+	}
+	e.stopFlag.Store(true)
+}
 
 // killed is the sentinel panic value used by Shutdown to unwind process
 // goroutines. It never escapes the package.
@@ -221,219 +319,255 @@ type killedSentinel struct{}
 
 // Shutdown forcibly terminates every live process and drops all pending
 // events, releasing the backing goroutines — including the pooled workers
-// of already-finished processes. It must be called from outside Run
-// (i.e., not from a process or kernel callback). The engine is dead
-// afterwards. Simulations that end with parked service processes (node
-// idle loops, servers) should always Shutdown to avoid goroutine leaks.
+// of already-finished processes and, in a sharded engine, the per-shard
+// window runners. It must be called from outside Run (i.e., not from a
+// process or kernel callback). The engine is dead afterwards. Simulations
+// that end with parked service processes (node idle loops, servers)
+// should always Shutdown to avoid goroutine leaks.
 //
-// Victims are killed in ascending pid (spawn) order, so shutdown-time
-// tracer output is deterministic run to run.
+// Victims are killed in shard order, and within a shard in ascending pid
+// (spawn) order, so shutdown-time tracer output is deterministic run to
+// run and shard-count-independent for processes spawned at setup.
 func (e *Engine) Shutdown() {
-	if e.running != nil {
-		panic("sim: Shutdown from inside the simulation")
-	}
-	e.killing = true
-	e.heap.ev = nil
-	e.free = nil
-	// Snapshot: killing procs mutates e.procs.
-	victims := make([]*Proc, len(e.procs))
-	copy(victims, e.procs)
-	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
-	for _, p := range victims {
-		if p.dead {
-			continue
-		}
-		e.dispatches++
-		e.handoffs++
-		e.running = p
-		if e.tracer != nil {
-			e.tracer.Resume(e.now, p)
-		}
-		p.resume <- struct{}{}
-		<-e.doneCh // the victim's goroutine has unwound
-		e.running = nil
-	}
-	// Drain the worker pool: a token with no body pending tells the
-	// goroutine to exit instead of running an incarnation.
-	for p := e.freeProc; p != nil; p = p.next {
-		p.resume <- struct{}{}
-	}
-	e.freeProc = nil
-	e.stopped = true
-}
-
-// loopOutcome says how a kernel-loop tenure on some goroutine ended.
-type loopOutcome uint8
-
-const (
-	// loopEnded: the run is over (heap empty, deadline passed, Stop,
-	// failure, or a kernel-callback panic). The kernel role returns to
-	// the goroutine blocked in Run.
-	loopEnded loopOutcome = iota
-	// loopSelf: the caller's own resume event surfaced; it simply
-	// continues as the running process. Zero channel operations.
-	loopSelf
-	// loopHandoff: the kernel role was handed to another process's
-	// goroutine with a single channel send.
-	loopHandoff
-)
-
-// loop runs the kernel on the calling goroutine: it pops and fires events
-// until the run ends, the role moves to another goroutine, or — when self
-// is non-nil — self's own resumption surfaces, in which case the caller
-// continues straight back into process context on the live stack.
-func (e *Engine) loop(self *Proc) loopOutcome {
-	for {
-		if e.stopped || e.failure != nil || e.kernelPanic != nil || e.heap.len() == 0 {
-			return loopEnded
-		}
-		if e.heap.ev[0].at > e.deadline {
-			return loopEnded
-		}
-		ev := e.heap.pop()
-		if ev.cancelled {
-			e.release(ev)
-			continue
-		}
-		e.now = ev.at
-		e.events++
-		// Recycle before firing, so callbacks scheduling new events can
-		// reuse the slot immediately.
-		kind, fn, act, p := ev.kind, ev.fn, ev.act, ev.proc
-		e.release(ev)
-		switch kind {
-		case evProc, evIntProc:
-			if kind == evIntProc {
-				p.intTimer = Timer{}
-			}
-			if p.dead {
-				continue
-			}
-			if e.running != nil {
-				panic("sim: dispatch while a process is running")
-			}
-			e.dispatches++
-			e.running = p
-			if e.tracer != nil {
-				e.tracer.Resume(e.now, p)
-			}
-			if p == self {
-				return loopSelf
-			}
-			e.handoffs++
-			p.resume <- struct{}{}
-			return loopHandoff
-		case evAction:
-			e.fireCallback(nil, act)
-		default:
-			e.fireCallback(fn, nil)
+	for _, sh := range e.shards {
+		if sh.running != nil {
+			panic("sim: Shutdown from inside the simulation")
 		}
 	}
-}
-
-// fireCallback runs a kernel callback, converting a panic into a stashed
-// kernelPanic so it unwinds no process goroutine; Run re-raises it.
-func (e *Engine) fireCallback(fn func(), act Action) {
-	defer func() {
-		if r := recover(); r != nil {
-			e.kernelPanic = r
+	if e.runnersStarted {
+		for _, sh := range e.shards {
+			close(sh.windowCh)
 		}
-	}()
-	if act != nil {
-		act.Run()
-	} else {
-		fn()
+		e.runnersStarted = false
 	}
-}
-
-// runKernel starts a kernel tenure on the calling (Run) goroutine and
-// blocks until the run is over, however many goroutines the loop migrated
-// across in between.
-func (e *Engine) runKernel() {
-	if e.loop(nil) == loopHandoff {
-		<-e.doneCh
+	for _, sh := range e.shards {
+		sh.shutdown()
 	}
+	e.flushTrace()
 }
 
 // finishRun re-raises a stashed kernel-callback panic on the caller's
-// goroutine, or reports the first process failure.
+// goroutine, or reports the first process failure (by shard order).
 func (e *Engine) finishRun() error {
-	if r := e.kernelPanic; r != nil {
-		e.kernelPanic = nil
-		panic(r)
+	for _, sh := range e.shards {
+		if r := sh.kernelPanic; r != nil {
+			sh.kernelPanic = nil
+			panic(r)
+		}
 	}
-	return e.failure
+	for _, sh := range e.shards {
+		if sh.failure != nil {
+			return sh.failure
+		}
+	}
+	return nil
 }
 
-// Run executes events until the heap is empty, Stop is called, or a process
-// panics. It returns the first process failure, if any. A non-empty set of
-// parked processes with an empty heap is quiescence, not an error; callers
-// that consider it a deadlock can check Live.
+// Run executes events until every heap is empty, Stop is called, or a
+// process panics. It returns the first process failure, if any. A
+// non-empty set of parked processes with an empty heap is quiescence, not
+// an error; callers that consider it a deadlock can check Live.
 func (e *Engine) Run() error {
-	e.deadline = maxTime
-	e.runKernel()
+	if !e.sharded() {
+		sh := e.shards[0]
+		sh.deadline = maxTime
+		sh.runKernel()
+		return e.finishRun()
+	}
+	e.runSharded(maxTime)
 	return e.finishRun()
 }
 
 // RunUntil executes events with timestamps <= deadline. It returns the
 // first process failure, if any.
 func (e *Engine) RunUntil(deadline Time) error {
-	e.deadline = deadline
-	e.runKernel()
-	if e.now < deadline && e.failure == nil && e.kernelPanic == nil {
-		e.now = deadline
+	if !e.sharded() {
+		sh := e.shards[0]
+		sh.deadline = deadline
+		sh.runKernel()
+		if sh.now < deadline && sh.failure == nil && sh.kernelPanic == nil {
+			sh.now = deadline
+		}
+		return e.finishRun()
+	}
+	e.runSharded(deadline)
+	for _, sh := range e.shards {
+		if sh.now < deadline && sh.failure == nil && sh.kernelPanic == nil {
+			sh.now = deadline
+		}
 	}
 	return e.finishRun()
 }
 
-// yieldToKernel hands control from the running process to the kernel: the
-// process's own goroutine becomes the kernel and keeps firing events in
-// place. It returns when the process is next dispatched — directly, when
-// its own resume event surfaces during its tenure (no channel operation),
-// or via a handoff from whichever goroutine holds the loop by then. If
-// the engine is being shut down when control returns, the process unwinds
-// via the kill sentinel, which the spawn wrapper recovers.
-func (e *Engine) yieldToKernel(p *Proc) {
-	if e.tracer != nil {
-		e.tracer.Yield(e.now, p)
+// startRunners launches the per-shard window-runner goroutines (once).
+func (e *Engine) startRunners() {
+	if e.runnersStarted {
+		return
 	}
-	e.running = nil
-	switch e.loop(p) {
-	case loopSelf:
-		// Resumed on the live stack; this goroutine held the kernel role
-		// throughout and is the running process again.
-	case loopEnded:
-		e.doneCh <- struct{}{}
-		<-p.resume
-	case loopHandoff:
-		<-p.resume
+	for _, sh := range e.shards {
+		sh.windowCh = make(chan Time)
+		sh.windowDone = make(chan struct{})
+		go sh.windowRunner()
 	}
-	if e.killing {
-		panic(killedSentinel{})
+	e.runnersStarted = true
+}
+
+// runSharded is the window coordinator: it alternates barriers (merge
+// cross-shard traffic, flush traces, run due globals) with parallel
+// windows (every shard executes its own events up to the window's end).
+// The window width is bounded by the hook's lookahead and additionally
+// cut at the next global event, so no event can observe work another
+// shard has not yet made visible.
+func (e *Engine) runSharded(deadline Time) {
+	e.deadline = deadline
+	e.startRunners()
+	for {
+		e.barrier()
+		if e.stopFlag.Load() || e.anyDown() {
+			break
+		}
+		b, ok := e.nextTime()
+		if !ok || b > deadline {
+			break
+		}
+		for _, sh := range e.shards {
+			if sh.now < b {
+				sh.now = b
+			}
+		}
+		e.runGlobalsAt(b)
+		if e.anyDown() {
+			break
+		}
+		// Window [b, last], inclusive. The hook's lookahead bounds it;
+		// the next global event cuts it (globals fire between windows);
+		// the run deadline caps it.
+		last := deadline
+		if e.hook != nil {
+			la := e.hook.Lookahead(b)
+			if la < 1 {
+				la = 1
+			}
+			if wl := b.Add(la) - 1; wl < last {
+				last = wl
+			}
+		}
+		if len(e.globals) > 0 && e.globals[0].at-1 < last {
+			last = e.globals[0].at - 1
+		}
+		if last < b {
+			last = b
+		}
+		work := false
+		for _, sh := range e.shards {
+			if sh.heap.len() > 0 && sh.heap.ev[0].at <= last {
+				work = true
+				break
+			}
+		}
+		if !work {
+			continue
+		}
+		e.windows++
+		for _, sh := range e.shards {
+			sh.windowCh <- last
+		}
+		for _, sh := range e.shards {
+			<-sh.windowDone
+		}
 	}
 }
 
-// addProc registers a newly spawned process in the live table.
-func (e *Engine) addProc(p *Proc) {
-	p.slot = len(e.procs)
-	e.procs = append(e.procs, p)
+// anyDown reports whether any shard has failed, panicked in a kernel
+// callback, or been stopped.
+func (e *Engine) anyDown() bool {
+	for _, sh := range e.shards {
+		if sh.failure != nil || sh.kernelPanic != nil || sh.stopped {
+			return true
+		}
+	}
+	return false
 }
 
-// removeProc drops a finished process from the live table by swapping the
-// last entry into its slot — O(1), no map on the spawn/exit path.
-func (e *Engine) removeProc(p *Proc) {
-	last := len(e.procs) - 1
-	moved := e.procs[last]
-	e.procs[p.slot] = moved
-	moved.slot = p.slot
-	e.procs[last] = nil
-	e.procs = e.procs[:last]
+// nextTime returns the earliest pending timestamp across shard heaps and
+// the global queue.
+func (e *Engine) nextTime() (Time, bool) {
+	best := maxTime
+	ok := false
+	for _, sh := range e.shards {
+		if sh.heap.len() > 0 && sh.heap.ev[0].at <= best {
+			best = sh.heap.ev[0].at
+			ok = true
+		}
+	}
+	if len(e.globals) > 0 && e.globals[0].at <= best {
+		best = e.globals[0].at
+		ok = true
+	}
+	return best, ok
 }
 
-// checkRunning panics unless p is the currently executing process. It
-// guards the process-context-only API.
-func (e *Engine) checkRunning(p *Proc, op string) {
-	if e.running != p {
-		panic(fmt.Sprintf("sim: %s called on %q which is not the running process", op, p.name))
+// barrier runs the hook's merge step and flushes buffered traces. It is
+// the only point where cross-shard state moves; everything here runs on
+// the coordinator goroutine with all shards quiescent.
+func (e *Engine) barrier() {
+	start := time.Now()
+	if e.hook != nil {
+		e.hook.Barrier()
+	}
+	e.flushTrace()
+	e.barrierNs += time.Since(start).Nanoseconds()
+}
+
+// runGlobalsAt pops and fires every global event scheduled at exactly t,
+// in (key, seq) order (AtGlobal keeps the queue sorted). Global callbacks
+// may schedule further globals.
+func (e *Engine) runGlobalsAt(t Time) {
+	for len(e.globals) > 0 && e.globals[0].at == t {
+		g := e.globals[0]
+		e.globals = e.globals[1:]
+		e.shards[0].events++ // count globals once, on shard 0
+		g.fn()
+	}
+}
+
+// flushTrace drains every shard's buffered trace records into the user
+// tracer in canonical (time, process name, transition) order.
+func (e *Engine) flushTrace() {
+	if e.userTracer == nil {
+		return
+	}
+	n := 0
+	for _, sh := range e.shards {
+		n += len(sh.trbuf)
+	}
+	if n == 0 {
+		return
+	}
+	recs := make([]traceRec, 0, n)
+	for _, sh := range e.shards {
+		recs = append(recs, sh.trbuf...)
+		sh.trbuf = sh.trbuf[:0]
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.kind < b.kind
+	})
+	for _, r := range recs {
+		e.scratch.name = r.name
+		switch r.kind {
+		case 0:
+			e.userTracer.Resume(r.t, &e.scratch)
+		case 1:
+			e.userTracer.Yield(r.t, &e.scratch)
+		default:
+			e.userTracer.Exit(r.t, &e.scratch)
+		}
 	}
 }

@@ -17,15 +17,30 @@ const (
 	evAction
 )
 
-// event is a scheduled kernel action. Events with equal timestamps fire in
-// the order they were scheduled (seq), which makes runs deterministic.
+// Event classes define the canonical same-timestamp order, which must be
+// identical in the sequential and sharded kernels for runs to be
+// bit-identical. At one instant: global control transitions first (crash
+// points, collective releases — the sharded kernel fires these between
+// windows), then packet arrivals in (source node, flight number) order
+// (the sharded kernel merges cross-shard flights in exactly this order at
+// window barriers), then everything else in scheduling order.
+const (
+	classGlobal   uint8 = 0
+	classDelivery uint8 = 1
+	classNormal   uint8 = 2
+)
+
+// event is a scheduled kernel action. Events fire in (at, class, key, seq)
+// order: timestamp, canonical class, canonical class key, then scheduling
+// order — which makes runs deterministic and shard-count-independent.
 // Cancelled events stay in the heap and are dropped when they surface.
 //
 // Events are pooled: after firing (or surfacing cancelled) they return to
-// the engine's free list and gen is bumped, which invalidates any Timer
+// the shard's free list and gen is bumped, which invalidates any Timer
 // still holding the pointer.
 type event struct {
 	at        Time
+	key       uint64 // canonical order within a class (0 for classNormal)
 	seq       uint64
 	gen       uint64 // recycle generation; Timers capture it to stay valid
 	fn        func()
@@ -33,13 +48,14 @@ type event struct {
 	proc      *Proc
 	next      *event // free-list link
 	kind      eventKind
+	class     uint8
 	cancelled bool
 }
 
-// eventHeap is a binary min-heap ordered by (at, seq). It is hand-rolled
-// rather than using container/heap to avoid the interface indirection on
-// the simulation hot path. Entries are pointers so that a scheduled event
-// can be cancelled in place (interrupt support).
+// eventHeap is a binary min-heap ordered by (at, class, key, seq). It is
+// hand-rolled rather than using container/heap to avoid the interface
+// indirection on the simulation hot path. Entries are pointers so that a
+// scheduled event can be cancelled in place (interrupt support).
 type eventHeap struct {
 	ev []*event
 }
@@ -50,6 +66,12 @@ func (h *eventHeap) less(i, j int) bool {
 	a, b := h.ev[i], h.ev[j]
 	if a.at != b.at {
 		return a.at < b.at
+	}
+	if a.class != b.class {
+		return a.class < b.class
+	}
+	if a.key != b.key {
+		return a.key < b.key
 	}
 	return a.seq < b.seq
 }

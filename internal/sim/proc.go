@@ -15,19 +15,19 @@ type Duration = time.Duration
 // returning from its body.
 //
 // Procs are pooled: when a body returns, the Proc — goroutine, resume
-// channel and struct — parks on the engine's free list, and a later Spawn
+// channel and struct — parks on its shard's free list, and a later Spawn
 // recycles it as a fresh process. A *Proc held after its process finished
 // stays inert (Unpark and friends see it dead) only until that recycling;
 // holding a handle past the process's death is a programming error.
 type Proc struct {
-	eng    *Engine
+	sh     *Shard
 	name   string
 	resume chan struct{} // cap 1: a handoff token can be deposited by its own goroutine
 	body   func(p *Proc) // pending incarnation; consumed at first dispatch
 	parked bool
 	dead   bool
 	id     uint64
-	slot   int   // index in the engine's live-proc table
+	slot   int   // index in the shard's live-proc table
 	next   *Proc // free-list link while pooled
 
 	// Interruptible-charge state (see ChargeInterruptible). intTimer is a
@@ -50,29 +50,35 @@ func (e *PanicError) Error() string {
 }
 
 // Spawn creates a process named name running body, scheduled to start at
-// the current virtual time (after already-scheduled same-time events). The
-// body runs in process context: it may call Charge, Sleep, Park and friends.
+// the shard's current virtual time (after already-scheduled same-time
+// events). The body runs in process context: it may call Charge, Sleep,
+// Park and friends — all of which operate on this shard's kernel.
 //
 // Spawn reuses the goroutine and resume channel of a finished process
 // when one is pooled, so steady-state process churn allocates nothing.
-func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
-	e.seq++
-	p := e.freeProc
+func (sh *Shard) Spawn(name string, body func(p *Proc)) *Proc {
+	sh.seq++
+	p := sh.freeProc
 	if p != nil {
-		e.freeProc = p.next
+		sh.freeProc = p.next
 		p.next = nil
 		p.name = name
 		p.dead = false
 	} else {
-		p = &Proc{eng: e, name: name, resume: make(chan struct{}, 1)}
-		go e.procLoop(p)
+		p = &Proc{sh: sh, name: name, resume: make(chan struct{}, 1)}
+		go sh.procLoop(p)
 	}
-	p.id = e.seq
+	p.id = sh.seq
+	if sh.eng.sharded() {
+		// Disambiguate pids across shards without perturbing the
+		// sequential id sequence (pinned by golden traces).
+		p.id |= uint64(sh.idx) << 56
+	}
 	p.body = body
-	e.addProc(p)
-	e.atProc(e.now, p)
-	if e.probe != nil {
-		e.probe.Spawned(p)
+	sh.addProc(p)
+	sh.atProc(sh.now, p)
+	if sh.probe != nil {
+		sh.probe.Spawned(p)
 	}
 	return p
 }
@@ -82,71 +88,78 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 // moment holds the kernel role the dead process gave up — parks its Proc
 // for reuse, keeps firing events until the kernel role moves on, then
 // sleeps until a later Spawn dispatches it again.
-func (e *Engine) procLoop(p *Proc) {
+func (sh *Shard) procLoop(p *Proc) {
 	for {
 		<-p.resume
 		if p.body == nil {
 			return // Shutdown drained the worker pool
 		}
-		e.runBody(p)
-		if e.killing {
+		sh.runBody(p)
+		if sh.killing {
 			// Shutdown dispatched us to unwind; hand control back to it
 			// and terminate instead of pooling.
-			e.doneCh <- struct{}{}
+			sh.doneCh <- struct{}{}
 			return
 		}
 		// Pool the proc before continuing as the kernel: the free list
 		// is only ever touched by the kernel-role holder, and the
 		// buffered resume channel makes a respawn-and-dispatch within
 		// our own tenure safe (the token waits until we loop around).
-		e.running = nil
-		e.releaseProc(p)
-		if e.loop(nil) == loopEnded {
-			e.doneCh <- struct{}{}
+		sh.running = nil
+		sh.releaseProc(p)
+		if sh.loop(nil) == loopEnded {
+			sh.doneCh <- struct{}{}
 		}
 	}
 }
 
-// runBody executes one incarnation, converting a panic into the engine's
+// runBody executes one incarnation, converting a panic into the shard's
 // failure (or swallowing the kill sentinel) and emitting the exit trace.
-func (e *Engine) runBody(p *Proc) {
+func (sh *Shard) runBody(p *Proc) {
 	body := p.body
 	p.body = nil
 	defer func() {
 		p.dead = true
-		e.removeProc(p)
+		sh.removeProc(p)
 		if r := recover(); r != nil {
-			if _, kill := r.(killedSentinel); !kill && e.failure == nil {
-				e.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
+			if _, kill := r.(killedSentinel); !kill && sh.failure == nil {
+				sh.failure = &PanicError{Proc: p.name, Value: r, Stack: debug.Stack()}
 			}
 		}
-		if e.tracer != nil {
-			e.tracer.Exit(e.now, p)
+		if sh.tracing() {
+			sh.traceExit(p)
 		}
 	}()
-	if e.killing {
+	if sh.killing {
 		panic(killedSentinel{})
 	}
 	body(p)
 }
 
 // releaseProc parks a finished proc on the free list for reuse.
-func (e *Engine) releaseProc(p *Proc) {
+func (sh *Shard) releaseProc(p *Proc) {
 	p.parked = false
 	p.interrupted = false
 	p.intTimer = Timer{}
-	p.next = e.freeProc
-	e.freeProc = p
+	p.next = sh.freeProc
+	sh.freeProc = p
 }
 
 // Name returns the process name given at Spawn.
 func (p *Proc) Name() string { return p.name }
 
-// ID returns a unique process identifier (its spawn sequence number).
+// ID returns a unique process identifier (its spawn sequence number; in a
+// sharded engine the shard index occupies the top byte).
 func (p *Proc) ID() uint64 { return p.id }
 
 // Engine returns the engine that owns p.
-func (p *Proc) Engine() *Engine { return p.eng }
+func (p *Proc) Engine() *Engine { return p.sh.eng }
+
+// Shard returns the shard whose kernel schedules p. Code running in
+// process context must schedule follow-up work (timers, callbacks,
+// spawns) through this shard, not through the engine facade, to stay
+// correct under sharded execution.
+func (p *Proc) Shard() *Shard { return p.sh }
 
 // Dead reports whether the process body has returned or panicked.
 func (p *Proc) Dead() bool { return p.dead }
@@ -154,8 +167,9 @@ func (p *Proc) Dead() bool { return p.dead }
 // Parked reports whether the process is parked waiting for Unpark.
 func (p *Proc) Parked() bool { return p.parked }
 
-// Now returns the current virtual time. Usable from any context.
-func (p *Proc) Now() Time { return p.eng.now }
+// Now returns the owning shard's current virtual time. Usable from any
+// context on that shard.
+func (p *Proc) Now() Time { return p.sh.now }
 
 // Charge consumes d of virtual CPU time: the process is suspended and
 // resumes exactly d later. Charge(0) yields to other same-time events.
@@ -164,14 +178,14 @@ func (p *Proc) Charge(d Duration) {
 	if d < 0 {
 		panic("sim: negative charge")
 	}
-	p.eng.checkRunning(p, "Charge")
-	e := p.eng
-	e.chargedTotal += d
-	if e.probe != nil {
-		e.probe.Charged(p, e.now, d)
+	sh := p.sh
+	sh.checkRunning(p, "Charge")
+	sh.chargedTotal += d
+	if sh.probe != nil {
+		sh.probe.Charged(p, sh.now, d)
 	}
-	e.atProc(e.now.Add(d), p)
-	e.yieldToKernel(p)
+	sh.atProc(sh.now.Add(d), p)
+	sh.yieldToKernel(p)
 }
 
 // Sleep is Charge under a name that reads better for idle waits.
@@ -186,21 +200,21 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 	if d < 0 {
 		panic("sim: negative charge")
 	}
-	p.eng.checkRunning(p, "ChargeInterruptible")
+	sh := p.sh
+	sh.checkRunning(p, "ChargeInterruptible")
 	if d == 0 {
 		p.Charge(0)
 		return 0
 	}
-	e := p.eng
-	p.intStart = e.now
+	p.intStart = sh.now
 	p.interrupted = false
-	ev := e.schedule(e.now.Add(d), evIntProc, nil, nil, p)
+	ev := sh.schedule(sh.now.Add(d), classNormal, 0, evIntProc, nil, nil, p)
 	p.intTimer = Timer{ev: ev, gen: ev.gen}
-	e.yieldToKernel(p)
-	consumed := Duration(e.now - p.intStart)
-	e.chargedTotal += consumed
-	if e.probe != nil {
-		e.probe.Charged(p, p.intStart, consumed)
+	sh.yieldToKernel(p)
+	consumed := Duration(sh.now - p.intStart)
+	sh.chargedTotal += consumed
+	if sh.probe != nil {
+		sh.probe.Charged(p, p.intStart, consumed)
 	}
 	if !p.interrupted {
 		return 0
@@ -211,9 +225,9 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 
 // Interrupt preempts p's in-progress interruptible charge: p resumes at
 // the current virtual time with the remainder of its charge unconsumed.
-// Callable from kernel callbacks or other processes. It reports whether a
-// charge was actually interrupted (false when p is not inside
-// ChargeInterruptible — a plain Charge cannot be preempted).
+// Callable from kernel callbacks or other processes on the same shard. It
+// reports whether a charge was actually interrupted (false when p is not
+// inside ChargeInterruptible — a plain Charge cannot be preempted).
 func (p *Proc) Interrupt() bool {
 	if p.dead || p.intTimer.ev == nil {
 		return false
@@ -223,23 +237,23 @@ func (p *Proc) Interrupt() bool {
 	}
 	p.intTimer = Timer{}
 	p.interrupted = true
-	e := p.eng
-	e.atProc(e.now, p)
+	sh := p.sh
+	sh.atProc(sh.now, p)
 	return true
 }
 
 // Park suspends the process until another party calls Unpark. Must be
 // called from the running process.
 func (p *Proc) Park() {
-	p.eng.checkRunning(p, "Park")
+	p.sh.checkRunning(p, "Park")
 	p.parked = true
-	p.eng.yieldToKernel(p)
+	p.sh.yieldToKernel(p)
 }
 
 // Unpark makes a parked process runnable at the current virtual time. It
-// may be called from kernel callbacks or from another running process; it
-// is a no-op on a dead process and a programming error on a process that
-// is not parked.
+// may be called from kernel callbacks or from another running process on
+// the same shard; it is a no-op on a dead process and a programming error
+// on a process that is not parked.
 func (p *Proc) Unpark() {
 	if p.dead {
 		return
@@ -248,8 +262,7 @@ func (p *Proc) Unpark() {
 		panic(fmt.Sprintf("sim: Unpark of non-parked process %q", p.name))
 	}
 	p.parked = false
-	e := p.eng
-	e.atProc(e.now, p)
+	p.sh.atProc(p.sh.now, p)
 }
 
 // UnparkAfter makes a parked process runnable d from now.
@@ -261,6 +274,5 @@ func (p *Proc) UnparkAfter(d Duration) {
 		panic(fmt.Sprintf("sim: UnparkAfter of non-parked process %q", p.name))
 	}
 	p.parked = false
-	e := p.eng
-	e.atProc(e.now.Add(d), p)
+	p.sh.atProc(p.sh.now.Add(d), p)
 }

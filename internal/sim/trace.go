@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"sort"
+	"strings"
 )
 
 // Tracer observes kernel scheduling decisions. Implementations must be
@@ -83,3 +85,61 @@ func (h *HashTracer) Exit(t Time, p *Proc)   { h.mix('x', t, p) }
 
 // Sum returns the accumulated schedule hash.
 func (h *HashTracer) Sum() uint64 { return h.h }
+
+// CanonicalTracer buffers every scheduling transition and renders them in
+// the canonical (time, process name, transition) order, independent of
+// the execution interleaving within an instant. A sequential run and a
+// sharded run of the same simulation produce byte-identical canonical
+// text; the shard-equivalence tests compare exactly this.
+type CanonicalTracer struct {
+	recs []traceRec
+}
+
+// NewCanonicalTracer returns an empty canonical tracer.
+func NewCanonicalTracer() *CanonicalTracer { return &CanonicalTracer{} }
+
+func (c *CanonicalTracer) Resume(t Time, p *Proc) {
+	c.recs = append(c.recs, traceRec{t, 0, p.name})
+}
+func (c *CanonicalTracer) Yield(t Time, p *Proc) {
+	c.recs = append(c.recs, traceRec{t, 1, p.name})
+}
+func (c *CanonicalTracer) Exit(t Time, p *Proc) {
+	c.recs = append(c.recs, traceRec{t, 2, p.name})
+}
+
+// Text returns the buffered transitions sorted canonically, formatted
+// like WriterTracer output.
+func (c *CanonicalTracer) Text() string {
+	recs := make([]traceRec, len(c.recs))
+	copy(recs, c.recs)
+	sort.SliceStable(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.t != b.t {
+			return a.t < b.t
+		}
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		return a.kind < b.kind
+	})
+	var sb strings.Builder
+	for _, r := range recs {
+		switch r.kind {
+		case 0:
+			fmt.Fprintf(&sb, "%v resume %s\n", r.t, r.name)
+		case 1:
+			fmt.Fprintf(&sb, "%v yield  %s\n", r.t, r.name)
+		default:
+			fmt.Fprintf(&sb, "%v exit   %s\n", r.t, r.name)
+		}
+	}
+	return sb.String()
+}
+
+// Hash returns the FNV-1a hash of Text.
+func (c *CanonicalTracer) Hash() uint64 {
+	f := fnv.New64a()
+	io.WriteString(f, c.Text())
+	return f.Sum64()
+}

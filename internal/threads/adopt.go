@@ -64,7 +64,7 @@ func (s *Scheduler) Adopt(name string, p *sim.Proc) *Thread {
 	s.stats.Adopted++
 	t := &Thread{sched: s, name: name, proc: p, state: stateRunning}
 	if s.probe != nil {
-		now := s.eng.Now()
+		now := s.sh.Now()
 		s.probe.ThreadCreated(now, s.node.ID(), t)
 		s.probe.ThreadStarted(now, s.node.ID(), t, true)
 	}
@@ -126,7 +126,7 @@ func (s *Scheduler) FinishAdopted(c Ctx) {
 	t.state = stateDead
 	t.done = true
 	if s.probe != nil {
-		s.probe.ThreadExited(s.eng.Now(), s.node.ID(), t)
+		s.probe.ThreadExited(s.sh.Now(), s.node.ID(), t)
 	}
 	for _, j := range t.joiners {
 		s.makeReady(j, false)

@@ -54,7 +54,7 @@ func (s *Stats) LiveStackPercent() float64 {
 // restoring a previously suspended thread.
 type Scheduler struct {
 	node *cm5.Node
-	eng  *sim.Engine
+	sh   *sim.Shard
 	cost cm5.CostModel
 
 	ready deque
@@ -107,7 +107,7 @@ func (s *Scheduler) SetProbe(p Probe) {
 // noteReady reports a ready-queue occupancy change to the probe.
 func (s *Scheduler) noteReady() {
 	if s.probe != nil {
-		s.probe.ReadyDepth(s.eng.Now(), s.node.ID(), s.ready.len())
+		s.probe.ReadyDepth(s.sh.Now(), s.node.ID(), s.ready.len())
 	}
 }
 
@@ -117,10 +117,10 @@ func (s *Scheduler) noteReady() {
 func NewScheduler(node *cm5.Node) *Scheduler {
 	s := &Scheduler{
 		node: node,
-		eng:  node.Machine().Engine(),
+		sh:   node.Shard(),
 		cost: node.Machine().Cost(),
 	}
-	s.idle = s.eng.Spawn(fmt.Sprintf("idle/%d", node.ID()), s.idleLoop)
+	s.idle = s.sh.Spawn(fmt.Sprintf("idle/%d", node.ID()), s.idleLoop)
 	// A packet arrival resumes the acting scheduler if it is parked with
 	// nothing to do; if a thread is running (or the CPU is lent to an
 	// optimistic execution) the packet waits in the input queue until the
@@ -263,10 +263,10 @@ func (s *Scheduler) startOrResume(p *sim.Proc, t *Thread, fromRunnable bool) {
 		}
 		t.state = stateRunning
 		s.cur = t
-		t.proc = s.eng.Spawn(t.name, t.run)
+		t.proc = s.sh.Spawn(t.name, t.run)
 		if s.probe != nil {
 			s.probe.ProcBound(s.node.ID(), t.proc)
-			s.probe.ThreadStarted(s.eng.Now(), s.node.ID(), t, !fromRunnable)
+			s.probe.ThreadStarted(s.sh.Now(), s.node.ID(), t, !fromRunnable)
 		}
 	case stateReady:
 		if t.prepaid {
@@ -334,7 +334,7 @@ func (s *Scheduler) Create(c Ctx, name string, front bool, body func(Ctx)) *Thre
 	c.P.Charge(s.cost.ThreadCreate)
 	t := &Thread{sched: s, name: name, body: body, state: stateNew}
 	if s.probe != nil {
-		s.probe.ThreadCreated(s.eng.Now(), s.node.ID(), t)
+		s.probe.ThreadCreated(s.sh.Now(), s.node.ID(), t)
 	}
 	s.makeReady(t, front)
 	return t
@@ -347,7 +347,7 @@ func (s *Scheduler) Bootstrap(name string, body func(Ctx)) *Thread {
 	s.stats.Created++
 	t := &Thread{sched: s, name: name, body: body, state: stateNew}
 	if s.probe != nil {
-		s.probe.ThreadCreated(s.eng.Now(), s.node.ID(), t)
+		s.probe.ThreadCreated(s.sh.Now(), s.node.ID(), t)
 	}
 	s.makeReady(t, false)
 	return t

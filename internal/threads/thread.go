@@ -81,7 +81,7 @@ func (t *Thread) run(p *sim.Proc) {
 	t.state = stateDead
 	t.done = true
 	if s := t.sched; s.probe != nil {
-		s.probe.ThreadExited(s.eng.Now(), s.node.ID(), t)
+		s.probe.ThreadExited(s.sh.Now(), s.node.ID(), t)
 	}
 	for _, j := range t.joiners {
 		t.sched.makeReady(j, false)
