@@ -4,9 +4,15 @@
 //	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-cpuprofile F] [-memprofile F] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
-// table3, ablation, schedpolicy, budget, buffering, chaos,
+// table3, ablation, schedpolicy, budget, buffering, chaos, sched,
 // micro (table1+bulk+abortcost), bench (host-performance report),
 // all (everything).
+//
+// sched runs the cluster-scheduler control plane (internal/apps/sched)
+// over a fault-mix x lease-timeout x heartbeat-period grid and
+// replay-checks every cell's event record against the control plane's
+// safety and liveness invariants (placed-exactly-once, monotonic lease
+// epochs, no placement on dead agents, all jobs completed).
 //
 // Observability subcommands (see internal/obs):
 //
@@ -62,7 +68,7 @@ import (
 var subcommands = []string{
 	"table1", "bulk", "abortcost", "fig1", "fig2", "table2", "fig3", "fig4",
 	"table3", "ablation", "appablation", "schedpolicy", "budget", "buffering",
-	"interrupts", "sorsizes", "chaos", "bench", "micro", "all",
+	"interrupts", "sorsizes", "chaos", "sched", "bench", "micro", "all",
 	"trace", "metrics",
 }
 
@@ -229,6 +235,8 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		case "chaos":
 			emit(exp.ChaosTable(scale))
 			emit(exp.ChaosNodeTable(scale))
+		case "sched":
+			emit(exp.SchedTable(scale))
 		default:
 			fmt.Fprintf(stderr, "oamlab: unknown experiment %q (subcommands: %s)\n",
 				name, strings.Join(subcommands, ", "))
@@ -249,7 +257,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			for _, n := range []string{"table1", "bulk", "abortcost", "fig1", "fig2",
 				"table2", "fig3", "fig4", "table3", "ablation", "appablation",
 				"schedpolicy", "budget", "buffering", "interrupts", "sorsizes",
-				"chaos"} {
+				"chaos", "sched"} {
 				run(n)
 			}
 		case "micro":

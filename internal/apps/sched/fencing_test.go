@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// TestLeaseFencingStaleEpochRejected is the epoch-fencing scenario end to
+// end: agent 1 takes a lease, then goes dark mid-lease — a one-way
+// partition blocks everything it sends (heartbeats, completions, acks)
+// while it keeps computing, the failure-detector equivalent of a slow or
+// isolated node, not a crash. The scheduler declares it dead, migrates
+// the job to agent 2 at epoch 2, and accepts agent 2's completion. When
+// the partition heals, agent 1 "revives": its heartbeats readmit it and
+// the reliable transport finally delivers its epoch-1 completion — which
+// the fence must reject as stale, not accept a second time.
+func TestLeaseFencingStaleEpochRejected(t *testing.T) {
+	from, to := sim.Time(1*sim.Millisecond), sim.Time(10*sim.Millisecond)
+	cfg := Config{
+		Specs: []JobSpec{{CPU: 4, Mem: 8, Dur: sim.Micros(2000)}},
+		Seed:  21,
+		Fault: &cm5.FaultPlan{
+			Seed: 33,
+			// One direction only: agent 1 hears the scheduler but cannot
+			// answer — it never learns its lease was reclaimed.
+			Partitions: []cm5.Partition{{Src: 1, Dst: 0, From: from, To: to}},
+		},
+	}
+	res, st, err := Run(2, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ierr := CheckInvariants(st.Record, 1, 2, true); ierr != nil {
+		t.Fatalf("invariants: %v", ierr)
+	}
+
+	if st.DeadDeclared == 0 {
+		t.Error("silent agent was never declared dead")
+	}
+	if st.Migrations == 0 {
+		t.Error("lease never migrated off the silent agent")
+	}
+	if st.Recovered == 0 {
+		t.Error("healed agent was never readmitted")
+	}
+	if st.Accepted != 1 {
+		t.Errorf("Accepted = %d, want exactly 1 (placed-exactly-once)", st.Accepted)
+	}
+	if st.StaleCompletions == 0 {
+		t.Error("the revived agent's epoch-1 completion was never fenced off")
+	}
+	if st.CompleteGiveUps != 1 {
+		t.Errorf("CompleteGiveUps = %d, want 1 (agent 1's runner could not report)", st.CompleteGiveUps)
+	}
+
+	var sawStaleE1, sawDoneE2 bool
+	for _, ev := range st.Record {
+		if ev.Kind == EvStale && ev.Job == 0 && ev.Agent == 1 && ev.Epoch == 1 {
+			sawStaleE1 = true
+		}
+		if ev.Kind == EvDone && ev.Job == 0 && ev.Epoch >= 2 {
+			sawDoneE2 = true
+			if ev.Agent != 2 {
+				t.Errorf("completion accepted from agent %d, want the migration target 2", ev.Agent)
+			}
+		}
+	}
+	if !sawStaleE1 {
+		t.Errorf("record has no stale epoch-1 rejection from agent 1:\n%v", st.Record)
+	}
+	if !sawDoneE2 {
+		t.Errorf("record has no accepted completion at epoch >= 2:\n%v", st.Record)
+	}
+	if res.Answer == 0 {
+		t.Error("answer checksum is zero")
+	}
+}

@@ -19,6 +19,7 @@ type ChaosRow struct {
 	DropPct        float64
 	Crashes        int
 	Partitioned    int // slaves cut off for the whole run
+	Flapped        int // slaves cut off for a window that heals
 	Elapsed        sim.Duration
 	Dropped        uint64 // packets the network lost (all loss kinds)
 	Duplicated     uint64
@@ -44,6 +45,7 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 	triNodes := 8
 	tspCities, tspSlaves := 12, 8
 	crashAt := sim.Time(100 * sim.Millisecond)
+	flapFrom, flapTo := sim.Time(60*sim.Millisecond), sim.Time(120*sim.Millisecond)
 	if scale.Quick {
 		triCfg.Side = 5
 		triNodes = 4
@@ -51,6 +53,10 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		// Early enough that the crashed slave always holds an unfinished
 		// lease, so every crash row exercises the watchdog re-issue path.
 		crashAt = sim.Time(15 * sim.Millisecond)
+		// The flap window opens while the slave holds a lease and closes
+		// well before the search ends, so the row proves recovery, not
+		// just degradation.
+		flapFrom, flapTo = sim.Time(10*sim.Millisecond), sim.Time(20*sim.Millisecond)
 	}
 	if scale.MaxP > 0 {
 		if triNodes > scale.MaxP {
@@ -68,6 +74,7 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		drop    float64
 		crashes int
 		part    bool // permanently partition the last slave
+		flap    bool // partition the last slave for a healing window
 	}
 	var jobs []job
 	for _, drop := range drops {
@@ -87,6 +94,12 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 	// reliable message toward it is abandoned after MaxAttempts, and the
 	// remaining slaves finish the search — bounded degradation, not a hang.
 	jobs = append(jobs, job{part: true})
+	// The flapping partition: the same slave cut off in both directions for
+	// a window that heals mid-run. Unlike the permanent partition, this row
+	// must *recover*: leases stranded during the window are re-issued, the
+	// healed slave rejoins the search, and any late duplicate work it
+	// reports is absorbed idempotently — with the answer still exact.
+	jobs = append(jobs, job{flap: true})
 
 	triWant := triCfg.BoardCounts().Solutions
 	tspWant := uint64(tsp.NewProblem(tspCities, 12).SolveSeq().Best)
@@ -117,7 +130,7 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 		if j.crashes == 1 {
 			plan.Crashes = []cm5.Crash{{Node: tspSlaves, At: crashAt}}
 		}
-		part := 0
+		part, flap := 0, 0
 		if j.part {
 			part = 1
 			plan = &cm5.FaultPlan{Seed: 63, Partitions: []cm5.Partition{
@@ -125,13 +138,20 @@ func Chaos(scale Scale) ([]ChaosRow, error) {
 				{Src: tspSlaves, Dst: -1, From: 0, To: sim.Time(math.MaxInt64)},
 			}}
 		}
+		if j.flap {
+			flap = 1
+			plan = &cm5.FaultPlan{Seed: 77, Partitions: []cm5.Partition{
+				{Src: -1, Dst: tspSlaves, From: flapFrom, To: flapTo},
+				{Src: tspSlaves, Dst: -1, From: flapFrom, To: flapTo},
+			}}
+		}
 		cfg := tsp.ChaosConfig{Cities: tspCities, Seed: 12, Shards: Shards, Fault: plan}
 		res, st, err := tsp.RunChaos(tspSlaves, cfg)
 		if err != nil {
-			return fmt.Errorf("chaos tsp drop=%g crashes=%d part=%d: %w", j.drop, j.crashes, part, err)
+			return fmt.Errorf("chaos tsp drop=%g crashes=%d part=%d flap=%d: %w", j.drop, j.crashes, part, flap, err)
 		}
 		rows[i] = ChaosRow{
-			App: "tsp", DropPct: j.drop * 100, Crashes: j.crashes, Partitioned: part,
+			App: "tsp", DropPct: j.drop * 100, Crashes: j.crashes, Partitioned: part, Flapped: flap,
 			Elapsed: res.Elapsed,
 			Dropped: st.Fault.Lost(), Duplicated: st.Fault.Duplicated,
 			Retransmits: st.Rel.Retransmits, DupsSuppressed: st.Rel.DupsSuppressed,
@@ -156,12 +176,13 @@ func ChaosTable(scale Scale) (*Table, error) {
 	}
 	t := &Table{
 		Title: "Chaos sweep: drop rate x crashes, answers checked against the sequential reference",
-		Columns: []string{"App", "Drop%", "Crashes", "Part", "Elapsed(ms)", "Lost",
+		Columns: []string{"App", "Drop%", "Crashes", "Part", "Flap", "Elapsed(ms)", "Lost",
 			"Dup'd", "Retx", "DupSupp", "GaveUp", "Reissued", "Timeouts", "Succ%", "OK"},
 		Notes: []string{
 			"dup rate is half the drop rate; triangle rows are loss-only (no crash recovery)",
 			"tsp crash rows kill one slave mid-run; the master's lease watchdog re-issues its jobs",
 			"the Part row cuts one slave off entirely: senders exhaust MaxAttempts and give up",
+			"the Flap row cuts the slave off for a window that heals: it rejoins and the answer stays exact",
 		},
 	}
 	for _, r := range rows {
@@ -170,7 +191,7 @@ func ChaosTable(scale Scale) (*Table, error) {
 			ok = "NO"
 		}
 		t.Rows = append(t.Rows, []string{
-			r.App, f1(r.DropPct), itoa(r.Crashes), itoa(r.Partitioned),
+			r.App, f1(r.DropPct), itoa(r.Crashes), itoa(r.Partitioned), itoa(r.Flapped),
 			fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6),
 			u64(r.Dropped), u64(r.Duplicated), u64(r.Retransmits),
 			u64(r.DupsSuppressed), u64(r.GaveUp), u64(r.Reissued),

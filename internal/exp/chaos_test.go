@@ -10,20 +10,20 @@ func TestChaosQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("rows = %d, want 12", len(rows))
+	if len(rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(rows))
 	}
 	for _, r := range rows {
 		if !r.OK {
 			t.Errorf("%s drop=%.0f%% crashes=%d: wrong answer", r.App, r.DropPct, r.Crashes)
 		}
-		// Only rows with an unreachable node may abandon messages: the
-		// partitioned slave exhausts MaxAttempts by design
-		// (TestChaosPartitionRow), and a crashed node's in-flight traffic
-		// is abandoned after MaxAttempts the same way — bounded
-		// degradation, not a reliability failure. Pure-loss rows must
-		// deliver everything.
-		if r.GaveUp != 0 && r.Partitioned == 0 && r.Crashes == 0 {
+		// Only rows with an unreachable node may abandon messages: a
+		// partitioned (permanently or for a flap window) slave's traffic
+		// exhausts MaxAttempts by design (TestChaosPartitionRow), and a
+		// crashed node's in-flight traffic is abandoned after MaxAttempts
+		// the same way — bounded degradation, not a reliability failure.
+		// Pure-loss rows must deliver everything.
+		if r.GaveUp != 0 && r.Partitioned == 0 && r.Flapped == 0 && r.Crashes == 0 {
 			t.Errorf("%s drop=%.0f%% crashes=%d: reliable channel gave up %d times",
 				r.App, r.DropPct, r.Crashes, r.GaveUp)
 		}

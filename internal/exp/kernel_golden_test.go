@@ -5,19 +5,22 @@ import (
 )
 
 // chaosGoldenHashes are the fault-trace hashes of the quick-scale chaos
-// sweep's TSP rows (the rows with a fault layer), re-recorded when fault
-// randomness moved to per-flight counter-seeded streams (which also
-// re-timed the quick crash rows). The fault trace hashes every
-// drop/dup/crash decision with its virtual timestamp, so any change to
-// event order or timing anywhere in the stack shows up here — and it must
-// not change with the shard count.
+// sweep's TSP rows (the rows with a fault layer), re-recorded when the
+// reliable transport gained deterministic per-flight retransmit jitter
+// (which re-times every retransmission and therefore every fault draw
+// after the first loss; the loss-free first row kept its hash). The
+// fault trace hashes every drop/dup/crash decision with its virtual
+// timestamp, so any change to event order or timing anywhere in the
+// stack shows up here — and it must not change with the shard count.
 var chaosGoldenHashes = []uint64{
-	0x8897616b4b673a9a, 0x45934826adc7b794, 0xb9785eae9b6519a7,
-	0x52812ce3e2bb2528, 0x83c5e4df11f84196, 0x37ab4a5383737565,
-	0x488cf296e3595a7f,
-	// The permanently-partitioned-slave row (appended with the
-	// MaxAttempts-exhausted coverage; recorded at introduction).
-	0x9e9f6e023b444713,
+	0x8897616b4b673a9a, 0xd05698c1d7c62142, 0x7c8ba98cca79ecb6,
+	0xa577830017906ed9, 0xe78471d0703bc228, 0x7184db0e1d4f68e5,
+	0xd1c74fa3fc353738,
+	// The permanently-partitioned-slave row (the MaxAttempts-exhausted
+	// coverage).
+	0x493f473009935687,
+	// The flapping-partition row (the heal-and-rejoin coverage).
+	0x0c788126713b5bd6,
 }
 
 // TestChaosPartitionRow checks the MaxAttempts-exhausted coverage: the
@@ -32,21 +35,52 @@ func TestChaosPartitionRow(t *testing.T) {
 	if err != nil {
 		t.Fatalf("chaos: %v", err)
 	}
+	var part *ChaosRow
+	for i := range rows {
+		if rows[i].Partitioned == 1 {
+			part = &rows[i]
+		}
+	}
+	if part == nil {
+		t.Fatalf("sweep has no partition row")
+	}
+	if !part.OK {
+		t.Errorf("partition row answer wrong: %+v", part)
+	}
+	if part.GaveUp == 0 {
+		t.Errorf("no messages exhausted MaxAttempts: %+v", part)
+	}
+	if part.Timeouts == 0 {
+		t.Errorf("partitioned slave's calls never timed out: %+v", part)
+	}
+	if part.Dropped == 0 {
+		t.Errorf("partition dropped nothing: %+v", part)
+	}
+}
+
+// TestChaosFlapRow checks the healing-partition coverage: the slave is cut
+// off for a window and comes back; the run recovers rather than merely
+// degrading — stranded work is re-issued and the answer stays exact.
+func TestChaosFlapRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep simulates several lossy runs")
+	}
+	rows, err := Chaos(Scale{Quick: true})
+	if err != nil {
+		t.Fatalf("chaos: %v", err)
+	}
 	last := rows[len(rows)-1]
-	if last.Partitioned != 1 {
-		t.Fatalf("last row is not the partition row: %+v", last)
+	if last.Flapped != 1 {
+		t.Fatalf("last row is not the flap row: %+v", last)
 	}
 	if !last.OK {
-		t.Errorf("partition row answer wrong: %+v", last)
-	}
-	if last.GaveUp == 0 {
-		t.Errorf("no messages exhausted MaxAttempts: %+v", last)
-	}
-	if last.Timeouts == 0 {
-		t.Errorf("partitioned slave's calls never timed out: %+v", last)
+		t.Errorf("flap row answer wrong: %+v", last)
 	}
 	if last.Dropped == 0 {
-		t.Errorf("partition dropped nothing: %+v", last)
+		t.Errorf("flap window dropped nothing: %+v", last)
+	}
+	if last.Retransmits == 0 {
+		t.Errorf("nothing was retransmitted across the heal: %+v", last)
 	}
 }
 

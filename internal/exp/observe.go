@@ -4,19 +4,18 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/am"
 	"repro/internal/apps"
+	"repro/internal/apps/sched"
 	"repro/internal/apps/sor"
 	"repro/internal/apps/triangle"
 	"repro/internal/apps/tsp"
 	"repro/internal/apps/water"
 	"repro/internal/obs"
-	"repro/internal/rpc"
 )
 
 // ObserveSpec selects one observed application run.
 type ObserveSpec struct {
-	App   string       // triangle | tsp | sor | water
+	App   string       // triangle | tsp | sor | water | sched
 	Sys   apps.System  // communication system (default ORPC)
 	Nodes int          // machine size (0 = the app's default)
 	Quick bool         // shrink the problem like the quick figure runs
@@ -45,41 +44,53 @@ func ObservedApps() []string {
 	return names
 }
 
-// observedRuns maps app name to a runner that installs the observe hook.
-// Seeds and sizes match the corresponding figure experiments, so a trace
-// shows the same schedule the figures measure.
-var observedRuns = map[string]func(spec ObserveSpec, hook func(*am.Universe, *rpc.Runtime)) (apps.Result, error){
-	"triangle": func(spec ObserveSpec, hook func(*am.Universe, *rpc.Runtime)) (apps.Result, error) {
-		cfg := triangle.Config{Side: 6, Empty: -1, Seed: 101, Observe: hook}
+// observedRuns maps app name to a runner that wires the collector in
+// (Attach for the universe/RPC layers, plus app-specific probes where the
+// app defines one). Seeds and sizes match the corresponding figure
+// experiments, so a trace shows the same schedule the figures measure.
+var observedRuns = map[string]func(spec ObserveSpec, c *obs.Collector) (apps.Result, error){
+	"triangle": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
+		cfg := triangle.Config{Side: 6, Empty: -1, Seed: 101, Observe: c.Attach}
 		if spec.Quick {
 			cfg.Side = 5
 		}
 		return triangle.Run(spec.Sys, spec.Nodes, cfg)
 	},
-	"tsp": func(spec ObserveSpec, hook func(*am.Universe, *rpc.Runtime)) (apps.Result, error) {
-		cfg := tsp.Config{Cities: 12, Seed: 102, Observe: hook}
+	"tsp": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
+		cfg := tsp.Config{Cities: 12, Seed: 102, Observe: c.Attach}
 		if spec.Quick {
 			cfg.Cities = 10
 		}
 		// -p counts processors; the master occupies node 0.
 		return tsp.Run(spec.Sys, spec.Nodes-1, cfg)
 	},
-	"sor": func(spec ObserveSpec, hook func(*am.Universe, *rpc.Runtime)) (apps.Result, error) {
+	"sor": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
 		cfg := sor.DefaultConfig()
 		if spec.Quick {
 			cfg = sor.Config{Rows: 66, Cols: 16, Iters: 30, Eps: 1e-9, Seed: 11}
 		}
-		cfg.Observe = hook
+		cfg.Observe = c.Attach
 		return sor.Run(spec.Sys, spec.Nodes, cfg)
 	},
-	"water": func(spec ObserveSpec, hook func(*am.Universe, *rpc.Runtime)) (apps.Result, error) {
+	"water": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
 		cfg := water.DefaultConfig()
 		cfg.Seed = 103
 		if spec.Quick {
 			cfg.Mols = 64
 		}
-		cfg.Observe = hook
+		cfg.Observe = c.Attach
 		return water.Run(spec.Sys, spec.Nodes, false, cfg)
+	},
+	"sched": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
+		// The control plane always runs ORPC; spec.Sys is ignored. The
+		// collector doubles as the control-plane probe, so the trace grows
+		// a "sched" track of heartbeats, outages, and lease spans.
+		cfg := sched.Config{Jobs: 16, Seed: 104, Observe: c.Attach, Probe: c}
+		if spec.Quick {
+			cfg.Jobs = 8
+		}
+		res, _, err := sched.Run(spec.Nodes-1, cfg)
+		return res, err
 	},
 }
 
@@ -94,11 +105,11 @@ func RunObserved(spec ObserveSpec, opts obs.Options) (*obs.Collector, apps.Resul
 	if spec.Nodes <= 0 {
 		spec.Nodes = 8
 	}
-	if spec.App == "tsp" && spec.Nodes < 2 {
-		return nil, apps.Result{}, fmt.Errorf("tsp needs at least 2 processors (a master and a slave)")
+	if (spec.App == "tsp" || spec.App == "sched") && spec.Nodes < 2 {
+		return nil, apps.Result{}, fmt.Errorf("%s needs at least 2 nodes (a master and a worker)", spec.App)
 	}
 	c := obs.New(opts)
-	res, err := run(spec, c.Attach)
+	res, err := run(spec, c)
 	if err != nil {
 		return nil, apps.Result{}, err
 	}

@@ -94,6 +94,51 @@ func TestTraceGoldenTSP(t *testing.T) {
 	}
 }
 
+// TestObservedSchedTrace: the control-plane probe feeds the collector —
+// the trace grows a lazily-named "sched" track carrying lease spans and
+// heartbeat instants, and the metrics registry counts placements and
+// accepted completions. TestTraceGoldenTSP above doubles as the proof
+// that the lazy track metadata changes nothing for apps without a
+// scheduler.
+func TestObservedSchedTrace(t *testing.T) {
+	c, res, err := RunObserved(
+		ObserveSpec{App: "sched", Nodes: 4, Quick: true},
+		obs.Options{Trace: true, Metrics: true})
+	if err != nil {
+		t.Fatalf("RunObserved: %v", err)
+	}
+	if res.Nodes != 4 {
+		t.Fatalf("Nodes = %d, want 4", res.Nodes)
+	}
+	var b bytes.Buffer
+	if err := c.WriteTrace(&b); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	s := b.String()
+	for _, want := range []string{
+		`"name":"sched"`,       // the lazily-emitted track metadata
+		`"cat":"lease"`,        // lease lifetime async spans
+		`"name":"heartbeat"`,   // accepted-heartbeat instants
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+	reg := c.Registry()
+	if got := reg.CounterTotal("sched/leases_placed"); got != 8 {
+		t.Errorf("sched/leases_placed = %d, want 8 (one per quick job on a clean network)", got)
+	}
+	if got := reg.CounterTotal("sched/completions_accepted"); got != 8 {
+		t.Errorf("sched/completions_accepted = %d, want 8", got)
+	}
+	if reg.CounterTotal("sched/heartbeats") == 0 {
+		t.Error("no heartbeats counted")
+	}
+	if got := reg.CounterTotal("sched/agent_dead"); got != 0 {
+		t.Errorf("sched/agent_dead = %d on a clean network", got)
+	}
+}
+
 // TestProfileMatchesCharged: the virtual-time profiler attributes every
 // charged microsecond — its total equals the engine's own counter
 // exactly, and the rendered table is deterministic.

@@ -53,8 +53,18 @@ type Collector struct {
 	cCalls, cTimeouts, cRetries, cStale  *Counter
 	cThCreated, cThStarted, cThLive      *Counter
 	cThExited                            *Counter
+	cSchedBeats, cSchedDead, cSchedAlive *Counter
+	cSchedPlaced                         *Counter
+	cSchedReclaims                       [3]*Counter
+	cSchedAccepted, cSchedRejected       *Counter
 	gNicDepth, gReadyDepth               *Gauge
 	hHandler, hWire, hCall               *Histogram
+
+	// Scheduler control-plane trace state (see sched.go).
+	schedMeta bool              // sched track metadata emitted
+	schedSeq  uint64            // lease/outage async span ids
+	leaseID   map[leaseKey]uint64
+	outageID  map[int]uint64
 }
 
 type callKey struct {
@@ -73,6 +83,8 @@ func New(opts Options) *Collector {
 		procNode:  make(map[uint64]int),
 		threadID:  make(map[*threads.Thread]uint64),
 		callStart: make(map[callKey][]sim.Time),
+		leaseID:   make(map[leaseKey]uint64),
+		outageID:  make(map[int]uint64),
 	}
 	if opts.Profile {
 		c.prof = NewProfile()
@@ -115,6 +127,15 @@ func (c *Collector) Attach(u *am.Universe, rt *rpc.Runtime) {
 		c.cTimeouts = r.NewCounter("rpc/timeouts")
 		c.cRetries = r.NewCounter("rpc/retries")
 		c.cStale = r.NewCounter("rpc/stale_replies")
+		c.cSchedBeats = r.NewCounter("sched/heartbeats")
+		c.cSchedDead = r.NewCounter("sched/agent_dead")
+		c.cSchedAlive = r.NewCounter("sched/agent_recovered")
+		c.cSchedPlaced = r.NewCounter("sched/leases_placed")
+		for i, why := range reclaimReasons {
+			c.cSchedReclaims[i] = r.NewCounter("sched/reclaim/" + why.String())
+		}
+		c.cSchedAccepted = r.NewCounter("sched/completions_accepted")
+		c.cSchedRejected = r.NewCounter("sched/completions_fenced")
 		c.cThCreated = r.NewCounter("threads/created")
 		c.cThStarted = r.NewCounter("threads/started")
 		c.cThLive = r.NewCounter("threads/live_stack_starts")

@@ -31,11 +31,21 @@ import (
 	"repro/internal/threads"
 )
 
+// DefaultJitter is the default retransmit jitter fraction: each re-arm
+// waits the capped backoff plus up to a quarter of it.
+const DefaultJitter = 0.25
+
 // Options tunes the reliable channel.
 type Options struct {
 	RTO         sim.Duration // initial retransmit timeout (default 150 us)
 	RTOMax      sim.Duration // backoff cap (default 2.4 ms)
 	MaxAttempts int          // total transmissions per message before giving up (default 12)
+	// Jitter spreads each retransmit re-arm over
+	// [backoff, backoff*(1+Jitter)) with a deterministic per-flight draw,
+	// so senders that lost packets in the same fault window do not
+	// re-fire in lockstep bursts. Default DefaultJitter; negative
+	// disables jitter entirely (exact capped-backoff schedule).
+	Jitter float64
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +57,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 12
+	}
+	if o.Jitter == 0 {
+		o.Jitter = DefaultJitter
+	} else if o.Jitter < 0 {
+		o.Jitter = 0
 	}
 	return o
 }
@@ -288,11 +303,35 @@ func (t *Transport) daemonLoop(c threads.Ctx, ns *nodeState) {
 			if pm.backoff > t.opts.RTOMax {
 				pm.backoff = t.opts.RTOMax
 			}
-			t.arm(ns, pm, pm.backoff)
+			t.arm(ns, pm, t.jittered(ns.id, pm))
 		}
 		ns.daemonBlocked = true
 		c.S.Block(c)
 	}
+}
+
+// retxSalt decouples the retransmit-jitter stream from the fault layer's
+// flight streams, so the two never alias even under equal raw inputs.
+const retxSalt = 0x3c6ef372fe94f82b
+
+// jittered returns pm's next retransmit wait: the capped backoff plus a
+// deterministic per-flight fraction of it in [0, Jitter). The draw is
+// counter-seeded splitmix64 keyed by (src, dst, seq, attempt) — the same
+// idiom as the fault layer's flight RNG — so its value depends only on
+// which flight it belongs to, never on how unrelated events interleave,
+// and the retransmit schedule stays bit-identical at any shard count.
+func (t *Transport) jittered(src int, pm *pendingMsg) sim.Duration {
+	if t.opts.Jitter <= 0 {
+		return pm.backoff
+	}
+	s := uint64(src)<<32 ^ uint64(pm.dst)<<16 ^ pm.seq<<40 ^ uint64(pm.attempts) ^ retxSalt
+	s += 0x9e3779b97f4a7c15
+	z := s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	frac := float64(z>>11) / (1 << 53)
+	return pm.backoff + sim.Duration(float64(pm.backoff)*t.opts.Jitter*frac)
 }
 
 // handleData is the receiving side: ack (always — the previous ack may

@@ -189,12 +189,92 @@ func TestBackoffCapped(t *testing.T) {
 		t.Fatalf("Retransmits = %d, want %d", st.Retransmits, want)
 	}
 	// Timer schedule: RTO fires the first retransmit; each of the
-	// remaining MaxAttempts-1 waits is capped at RTOMax (uncapped doubling
-	// would be 100+200+400+800+1600+3200 = 6.3ms). Allow slack for send
-	// costs and daemon scheduling, but stay well under the uncapped sum.
+	// remaining MaxAttempts-1 waits is the RTOMax cap (uncapped doubling
+	// would be 100+200+400+800+1600+3200 = 6.3ms) plus up to DefaultJitter
+	// of deterministic per-flight jitter. Allow slack for send costs and
+	// daemon scheduling, but stay well under the uncapped sum.
 	capped := sim.Duration(opts.RTO) + sim.Duration(opts.MaxAttempts-1)*opts.RTOMax
-	if d := gaveUpAt.Sub(sentAt); d < capped || d > capped+sim.Micros(100) {
-		t.Fatalf("gave up after %v, want about %v (capped backoff)", d, capped)
+	maxJitter := sim.Duration(float64(opts.MaxAttempts-1) * float64(opts.RTOMax) * DefaultJitter)
+	if d := gaveUpAt.Sub(sentAt); d < capped || d > capped+maxJitter+sim.Micros(100) {
+		t.Fatalf("gave up after %v, want within [%v, %v] (capped jittered backoff)",
+			d, capped, capped+maxJitter+sim.Micros(100))
+	}
+}
+
+// TestBackoffJitterDisabled pins the exact unjittered schedule: with
+// Jitter < 0 the give-up lands at RTO + (MaxAttempts-1)*RTOMax to within
+// send costs, which also proves the jittered default actually added time
+// on top of the same base schedule.
+func TestBackoffJitterDisabled(t *testing.T) {
+	opts := Options{RTO: sim.Micros(100), RTOMax: sim.Micros(200), MaxAttempts: 6, Jitter: -1}
+	eng := sim.New(4)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+	u.Machine().SetFaultPlan(&cm5.FaultPlan{
+		Seed:       1,
+		Partitions: []cm5.Partition{{Src: 0, Dst: 1, From: 0, To: sim.Time(sim.Second)}},
+	})
+	tr := Attach(u, opts)
+	h := u.Register("nop", func(c threads.Ctx, pkt *cm5.Packet) {})
+	var sentAt sim.Time
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		if node != 0 {
+			return
+		}
+		sentAt = c.P.Now()
+		u.Endpoint(0).Send(c, 1, h, [4]uint64{42, 0, 0, 0}, nil)
+	})
+	if err != nil {
+		t.Fatalf("SPMD: %v", err)
+	}
+	if st := tr.Stats(); st.GaveUp != 1 {
+		t.Fatalf("GaveUp = %d, want 1 (stats %+v)", st.GaveUp, st)
+	}
+	capped := sim.Duration(opts.RTO) + sim.Duration(opts.MaxAttempts-1)*opts.RTOMax
+	if d := eng.Now().Sub(sentAt); d < capped || d > capped+sim.Micros(100) {
+		t.Fatalf("gave up after %v, want about %v (exact capped backoff)", d, capped)
+	}
+}
+
+// TestJitterDeterministic: the jittered retransmit schedule is a pure
+// function of the flight, not of run-to-run state — two identical lossy
+// runs quiesce at the same virtual time with the same counters.
+func TestJitterDeterministic(t *testing.T) {
+	run := func() (sim.Time, Stats) {
+		eng := sim.New(9)
+		defer eng.Shutdown()
+		u := am.NewUniverse(eng, 2, cm5.DefaultCostModel())
+		u.Machine().SetFaultPlan(&cm5.FaultPlan{Seed: 13, DropProb: 0.3})
+		tr := Attach(u, Options{})
+		recvd := 0
+		h := u.Register("count", func(c threads.Ctx, pkt *cm5.Packet) { recvd++ })
+		_, err := u.SPMD(func(c threads.Ctx, node int) {
+			ep := u.Endpoint(node)
+			if node == 1 {
+				for recvd < 30 {
+					ep.Poll(c)
+					c.P.Charge(sim.Micros(2))
+					c.S.Yield(c)
+				}
+				return
+			}
+			for i := 0; i < 30; i++ {
+				ep.Send(c, 1, h, [4]uint64{uint64(i), 0, 0, 0}, nil)
+				c.P.Charge(sim.Micros(2))
+			}
+		})
+		if err != nil {
+			t.Fatalf("SPMD: %v", err)
+		}
+		return eng.Now(), tr.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 || s1 != s2 {
+		t.Fatalf("jittered schedule not deterministic: %v/%v %+v/%+v", t1, t2, s1, s2)
+	}
+	if s1.Retransmits == 0 {
+		t.Fatalf("no retransmits at 30%% loss (stats %+v)", s1)
 	}
 }
 

@@ -191,6 +191,7 @@ type ProcStats struct {
 	Threads   uint64 // TRPC-mode thread creations
 	Retries   uint64 // client-side re-sends after a nack
 	Timeouts  uint64 // CallWithDeadline expirations
+	GiveUps   uint64 // CallIdempotent exhaustions: every attempt timed out
 }
 
 // SuccessPercent is the "% Successes" column of Tables 2 and 3.
@@ -255,6 +256,7 @@ func (p *Proc) Stats() ProcStats {
 		out.Threads += s.Threads
 		out.Retries += s.Retries
 		out.Timeouts += s.Timeouts
+		out.GiveUps += s.GiveUps
 	}
 	return out
 }
@@ -445,6 +447,10 @@ func (p *Proc) CallWithDeadline(c threads.Ctx, server int, arg []byte, timeout s
 // its own per-attempt timeout. It is only safe for procedures whose
 // re-execution is harmless (reads, leases, at-least-once job hand-outs):
 // an attempt whose reply was lost has still run on the server.
+//
+// Every attempt uses a fresh call id, so a reply to an abandoned attempt
+// that surfaces later (healed partition, duplicated packet) is counted in
+// StaleReplies and dropped — it can never resolve a subsequent call.
 func (p *Proc) CallIdempotent(c threads.Ctx, server int, arg []byte, per sim.Duration, attempts int) ([]byte, error) {
 	if attempts < 1 {
 		panic(fmt.Sprintf("rpc: CallIdempotent of %q with %d attempts", p.name, attempts))
@@ -457,6 +463,7 @@ func (p *Proc) CallIdempotent(c threads.Ctx, server int, arg []byte, per sim.Dur
 			return res, nil
 		}
 	}
+	p.stats[c.Node().ID()].GiveUps++
 	return nil, err
 }
 
