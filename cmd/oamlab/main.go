@@ -1,7 +1,7 @@
 // Command oamlab regenerates every table and figure of the paper's
 // evaluation (section 4) on the simulated machine:
 //
-//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-cpuprofile F] [-memprofile F] <experiment>...
+//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-optimistic] [-cpuprofile F] [-memprofile F] <experiment>...
 //
 // Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
 // table3, ablation, schedpolicy, budget, buffering, chaos, sched,
@@ -39,8 +39,11 @@
 //
 // -shards runs every simulation engine sharded: each run's nodes are
 // partitioned across N shards (-1 = one per CPU) that execute in
-// parallel over lockstep virtual-time windows. Results are bit-identical
-// to the sequential kernel at any value; the harness automatically
+// parallel over lockstep virtual-time windows. -optimistic switches the
+// sharded engines to speculative commit spans: shards run past the
+// window edge and a GVT-style resolve commits whole spans, replacing the
+// lockstep barrier. Results are bit-identical
+// to the sequential kernel at any value of either flag; the harness automatically
 // shrinks -par so cells x shards never exceeds GOMAXPROCS. The observed
 // trace/metrics subcommands always run sequentially (their probes need
 // the single-threaded kernel).
@@ -85,6 +88,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	svgdir := fs.String("svgdir", "", "also render figures as SVG into this directory")
 	par := fs.Int("par", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
 	shards := fs.Int("shards", 1, "engine shards per run (1 = sequential kernel, -1 = one per CPU)")
+	optimistic := fs.Bool("optimistic", false, "sharded engines speculate past window edges (commit spans instead of lockstep windows)")
 	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -126,6 +130,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	if *shards != 1 && *shards != 0 {
 		exp.Shards = *shards
 	}
+	exp.Optimistic = *optimistic
 	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
 	names := fs.Args()
 	if len(names) == 0 {

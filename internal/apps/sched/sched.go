@@ -87,8 +87,12 @@ type Config struct {
 	// Shards selects the engine's shard count: 0 or 1 sequential,
 	// negative auto, clamped to the node count. Results are bit-identical
 	// at any value; only wall-clock time changes.
-	Shards   int
-	Strategy oam.Strategy
+	Shards int
+	// Optimistic selects the engine's speculative span scheduler instead
+	// of lockstep windows when Shards resolves parallel (results stay
+	// bit-identical; only wall-clock time changes).
+	Optimistic bool
+	Strategy   oam.Strategy
 	// Fault is the injected fault plan (nil for a perfect network).
 	Fault *cm5.FaultPlan
 	// Rel tunes the reliable transport, which is always attached.
@@ -366,7 +370,7 @@ func Run(agents int, cfg Config) (apps.Result, Stats, error) {
 	}
 
 	nodes := agents + 1
-	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes)
+	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes, cfg.Optimistic)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	u.Machine().SetFaultPlan(cfg.Fault)

@@ -42,6 +42,10 @@ type Config struct {
 	// negative auto (one per CPU), clamped to the node count. Results are
 	// bit-identical at any value; only wall-clock time changes.
 	Shards int
+	// Optimistic selects the engine's speculative span scheduler instead
+	// of lockstep windows when Shards resolves parallel (results stay
+	// bit-identical; only wall-clock time changes).
+	Optimistic bool
 	// Observe, if non-nil, is called once the universe (and, for the RPC
 	// variants, the runtime — nil under AM) is built but before the SPMD
 	// program starts, so an observer can attach its probes.

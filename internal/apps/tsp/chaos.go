@@ -16,13 +16,17 @@ import (
 
 // ChaosConfig parameterizes a fault-tolerant TSP run.
 type ChaosConfig struct {
-	Cities   int
-	Seed     int64
+	Cities int
+	Seed   int64
 	// Shards selects the engine's shard count: 0 or 1 sequential,
 	// negative auto (one per CPU), clamped to the node count. Results are
 	// bit-identical at any value; only wall-clock time changes.
-	Shards   int
-	Strategy oam.Strategy
+	Shards int
+	// Optimistic selects the engine's speculative span scheduler instead
+	// of lockstep windows when Shards resolves parallel (results stay
+	// bit-identical; only wall-clock time changes).
+	Optimistic bool
+	Strategy   oam.Strategy
 	// Fault is the injected fault plan (nil for a perfect network).
 	Fault *cm5.FaultPlan
 	// Rel tunes the reliable transport, which is always attached.
@@ -103,7 +107,7 @@ func RunChaos(slaves int, cfg ChaosConfig) (apps.Result, ChaosStats, error) {
 	cfg = cfg.withDefaults()
 	p := NewProblem(cfg.Cities, cfg.Seed)
 	nodes := slaves + 1
-	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes)
+	eng := apps.Engine(cfg.Seed, cfg.Shards, nodes, cfg.Optimistic)
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	u.Machine().SetFaultPlan(cfg.Fault)

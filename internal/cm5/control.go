@@ -143,6 +143,19 @@ func (c *collective) enter(n *Node, or bool, red float64, op ReduceOp) {
 	c.enterEp[node] = epoch + 1
 	now := n.sh.Now()
 	if c.m.sharded() {
+		if c.m.optimistic {
+			// Eager application: contributions are commutative (combined
+			// in node order only at release), so they can land mid-span
+			// from any shard under ctlmu. The release global this may
+			// schedule lands at maxT plus a collective latency that
+			// exceeds the lookahead, hence strictly beyond every event
+			// execution currently in flight — the engine cuts the running
+			// span just before it (see Engine.AtGlobal).
+			c.m.ctlmu.Lock()
+			c.applyEnter(epoch, node, now, or, red, op)
+			c.m.ctlmu.Unlock()
+			return
+		}
 		n.ms.ctlOps = append(n.ms.ctlOps, ctlOp{c: c, kind: opEnter, epoch: epoch, node: node, t: now, or: or, red: red, op: op})
 		return
 	}
@@ -223,9 +236,9 @@ func (c *collective) applyWait(epoch uint64, node int, cb func(or bool, red floa
 }
 
 // consume retires one of the round's N waits, dropping the round when the
-// last one is consumed. Only ever called between windows (barrier, global
-// or sequential-kernel context): the rounds map must not change while
-// shards are running.
+// last one is consumed. Called between windows (barrier, global or
+// sequential-kernel context) — or, in optimistic mode, mid-span under
+// ctlmu, which serializes every rounds-map mutation against the shards.
 func (c *collective) consume(epoch uint64) {
 	r := c.rounds[epoch]
 	r.pendingWaits--
@@ -246,6 +259,23 @@ func (c *collective) waitAsync(n *Node, cb func(or bool, red float64)) (ready, o
 	}
 	c.waitEp[node] = epoch + 1
 	if c.m.sharded() {
+		if c.m.optimistic {
+			// Eager wait: releases only fire between spans (they are
+			// globals, and globals cut spans), so under ctlmu the round
+			// is either already released — take the values, retire the
+			// wait — or the callback registers for the release instant.
+			c.m.ctlmu.Lock()
+			r := c.rounds[epoch]
+			if r != nil && r.released {
+				or, red := r.orVal, r.redVal
+				c.consume(epoch)
+				c.m.ctlmu.Unlock()
+				return true, or, red
+			}
+			c.applyWait(epoch, node, cb)
+			c.m.ctlmu.Unlock()
+			return false, false, 0
+		}
 		// The rounds map only changes between windows, so this lookup is
 		// stable all window long: a released round stays released (take
 		// the values now, defer the bookkeeping); anything else waits.

@@ -2,6 +2,7 @@ package cm5
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/sim"
 )
@@ -29,6 +30,16 @@ type Machine struct {
 	// node; senders on other shards read it, plus their own in-window
 	// reservations, as the "network full" signal. Sharded engines only.
 	snap []int32
+
+	// optimistic reports that the engine runs its shards speculatively:
+	// cross-shard flights are published eagerly (Shard.Inject) instead of
+	// buffered to the window barrier, and collective operations apply
+	// immediately under ctlmu instead of riding the ctlOps buffer.
+	optimistic bool
+	// ctlmu serializes mid-span collective mutations (optimistic mode
+	// only; conservative mode applies them on the single-threaded
+	// coordinator).
+	ctlmu sync.Mutex
 }
 
 // NetStats aggregates data-network traffic counters.
@@ -100,6 +111,7 @@ func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
 		for si := range m.shards {
 			m.shards[si].resv = make([]int32, n)
 		}
+		m.optimistic = eng.Mode() == sim.Optimistic
 		eng.SetWindowHook(m)
 	}
 	m.ctl = newControlNetwork(m)
@@ -348,8 +360,10 @@ func (n *Node) nextFlightKey() uint64 {
 }
 
 // launch schedules one delivery copy arriving wire after the current
-// instant: inline on the shared shard, or via the window outbox when the
-// destination lives on another shard.
+// instant: inline on the shared shard; via the window outbox when the
+// destination lives on another shard (conservative mode); or published
+// eagerly into the destination shard's inbox (optimistic mode — the
+// arrival time is already final, so the flight can cross immediately).
 func (n *Node) launch(dst *Node, pkt *Packet, wire sim.Duration) {
 	at := n.sh.Now().Add(wire)
 	key := n.nextFlightKey()
@@ -357,7 +371,23 @@ func (n *Node) launch(dst *Node, pkt *Packet, wire sim.Duration) {
 		n.sh.AtDelivery(at, key, n.m.newDelivery(n.ms, pkt))
 		return
 	}
+	if n.m.optimistic {
+		dst.sh.Inject(at, key, pkt)
+		return
+	}
 	n.ms.outbox = append(n.ms.outbox, flight{at: at, key: key, pkt: pkt})
+}
+
+// Arrive implements sim.ArrivalHook: materialize one eagerly published
+// cross-shard flight on its destination shard — claim the NIC slot the
+// sender reserved in its window buffer and schedule the delivery event.
+// Runs on the destination shard's goroutine, so the NIC, the delivery
+// pool, and the heap are all shard-local here.
+func (m *Machine) Arrive(sh *sim.Shard, at sim.Time, key uint64, payload any) {
+	pkt := payload.(*Packet)
+	dst := m.nodes[pkt.Dst]
+	dst.nic.forceReserve()
+	sh.AtDelivery(at, key, m.newDelivery(dst.ms, pkt))
 }
 
 // TryInject attempts to send pkt from this node. On success it charges the

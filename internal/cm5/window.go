@@ -79,6 +79,31 @@ func (m *Machine) Lookahead(now sim.Time) sim.Duration {
 	return la
 }
 
+// NextBound implements sim.SpanHook: the earliest fault-plan boundary
+// strictly after now — a slow-window or partition edge — or now itself
+// when there is none. Optimistic commit spans are cut there so the
+// lookahead chosen at span start stays valid for the whole span and
+// plan-behavior changes coincide with commit points.
+func (m *Machine) NextBound(now sim.Time) sim.Time {
+	bound := now
+	if f := m.fault; f != nil {
+		clip := func(edge sim.Time) {
+			if edge > now && (bound <= now || edge < bound) {
+				bound = edge
+			}
+		}
+		for _, w := range f.plan.Slow {
+			clip(w.From)
+			clip(w.To)
+		}
+		for _, w := range f.plan.Partitions {
+			clip(w.From)
+			clip(w.To)
+		}
+	}
+	return bound
+}
+
 // Barrier implements sim.WindowHook: merge everything the shards buffered
 // during the window. Runs on the coordinator goroutine with every shard
 // quiescent, so it may touch any state.

@@ -55,6 +55,59 @@ type ShardedBench struct {
 	BarrierFrac float64 `json:"barrier_frac"` // barrier time / total wall
 	SeqWallNs   int64   `json:"seq_wall_ns"`
 	Speedup     float64 `json:"speedup"` // sequential wall / sharded wall
+	// SpeedupValid reports whether Speedup measures parallelism: false
+	// when GOMAXPROCS=1 or the host has fewer CPUs than shards, where the
+	// shard runners time-slice a core and the ratio only measures
+	// scheduling overhead. Speedup assertions (CI) must key off this.
+	SpeedupValid bool `json:"speedup_valid"`
+	// Overhead decomposes the pass's host time (see WindowOverheadNs) so
+	// BarrierFrac cannot hide where a poor speedup actually went.
+	Overhead WindowOverheadNs `json:"window_overhead_ns"`
+}
+
+// WindowOverheadNs is the honest window-overhead breakdown of a sharded
+// pass: BarrierNs is coordinator time between windows (cross-shard merge,
+// collective application, trace flush); WindowWallNs is wall time inside
+// the parallel windows (handshake send to last shard done); ShardBusyNs
+// sums every shard's in-window kernel time, so WindowWallNs −
+// ShardBusyNs/Shards is the dispatch loss — handshake latency, straggler
+// imbalance, and runtime scheduling — that a bare barrier fraction hides.
+type WindowOverheadNs struct {
+	BarrierNs    int64 `json:"barrier_ns"`
+	WindowWallNs int64 `json:"window_wall_ns"`
+	ShardBusyNs  int64 `json:"shard_busy_ns"`
+	// DispatchLossNs is max(0, WindowWallNs − ShardBusyNs/Shards).
+	DispatchLossNs int64 `json:"dispatch_loss_ns"`
+}
+
+// OptimisticBench is the optimistic-kernel pass: the same ring storm run
+// with speculative commit spans instead of lockstep windows, verified
+// bit-identical to the sequential pass, plus the speculation counters
+// that say whether optimism paid off.
+type OptimisticBench struct {
+	ShardedBench
+	// Spans is the committed-span count (the optimistic "window" count).
+	Spans uint64 `json:"spans"`
+	// Reopens counts retracted span-completion claims — the honest
+	// rollback counter (scheduling claims roll back; state never does).
+	Reopens uint64 `json:"reopens"`
+	// SpecEvents counts events executed beyond the first lookahead of
+	// their span — work a conservative window would have barriered for.
+	SpecEvents uint64 `json:"spec_events"`
+	Stalls     uint64 `json:"stalls"`
+	Jumps      uint64 `json:"jumps"`
+	// RollbackRate is Reopens / SpecEvents: the fraction of speculative
+	// work that retracted a quiescence claim.
+	RollbackRate float64 `json:"rollback_rate"`
+	// RollbacksPerWindow is Reopens / Spans.
+	RollbacksPerWindow float64 `json:"rollbacks_per_window"`
+	// SpeculationWin is SpecEvents / Events: how much of the run executed
+	// past where a conservative window would have stopped.
+	SpeculationWin float64 `json:"speculation_win"`
+	// SpeedupVsConservative is the conservative pass's wall time over
+	// this pass's (> 1 means optimism beat lockstep windows); only
+	// meaningful when SpeedupValid.
+	SpeedupVsConservative float64 `json:"speedup_vs_conservative"`
 }
 
 // ExpBench is one experiment's wall-clock timing under the sequential
@@ -88,6 +141,9 @@ type BenchResult struct {
 	Kernel  KernelBench `json:"kernel"`
 	// KernelSharded is the sharded-kernel storm (see ShardedBench).
 	KernelSharded ShardedBench `json:"kernel_sharded"`
+	// KernelOptimistic is the same storm under speculative commit spans
+	// (see OptimisticBench).
+	KernelOptimistic OptimisticBench `json:"kernel_optimistic"`
 	// KernelObserved repeats the storm with a live obs metrics sink
 	// attached to every layer; ObsOverheadPct is the per-event host-time
 	// cost of that instrumentation relative to the uninstrumented pass.
@@ -190,37 +246,95 @@ func kernelStorm(warmup, packets int, observe func(*am.Universe)) KernelBench {
 // count and charged time — or the function panics, since that would break
 // the sharded kernel's core contract.
 func KernelStormSharded(nodes, packets, shards int) ShardedBench {
+	sb, _ := kernelStormModes(nodes, packets, shards, false)
+	return sb
+}
+
+// KernelStormOptimistic runs the ring storm three ways — sequential,
+// conservative sharded, optimistic sharded — verifying both sharded
+// passes bit-identical to the sequential one, and reports the
+// conservative pass plus the optimistic pass with its speculation
+// counters and speedup-vs-conservative.
+func KernelStormOptimistic(nodes, packets, shards int) (ShardedBench, OptimisticBench) {
+	return kernelStormModes(nodes, packets, shards, true)
+}
+
+func kernelStormModes(nodes, packets, shards int, withOpt bool) (ShardedBench, OptimisticBench) {
 	shards = apps.ResolveShards(shards, nodes)
-	seqWall, seqEvents, seqCharged, _, _ := kernelRingStorm(nodes, packets, 1)
-	wall, events, charged, windows, barrierNs := kernelRingStorm(nodes, packets, shards)
+	seqWall, seqEvents, seqCharged, _, _ := kernelRingStorm(nodes, packets, 1, false)
+	wall, events, charged, ov, _ := kernelRingStorm(nodes, packets, shards, false)
 	if events != seqEvents || charged != seqCharged {
 		panic(fmt.Sprintf("exp: sharded storm diverged from sequential: events %d vs %d, charged %v vs %v",
 			events, seqEvents, charged, seqCharged))
 	}
+	sb := fillSharded(shards, nodes, packets, events, wall, seqWall, ov)
+	var ob OptimisticBench
+	if withOpt {
+		owall, oevents, ocharged, oov, ost := kernelRingStorm(nodes, packets, shards, true)
+		if oevents != seqEvents || ocharged != seqCharged {
+			panic(fmt.Sprintf("exp: optimistic storm diverged from sequential: events %d vs %d, charged %v vs %v",
+				oevents, seqEvents, ocharged, seqCharged))
+		}
+		ob.ShardedBench = fillSharded(shards, nodes, packets, oevents, owall, seqWall, oov)
+		ob.Spans, ob.Reopens, ob.SpecEvents = ost.Spans, ost.Reopens, ost.SpecEvents
+		ob.Stalls, ob.Jumps = ost.Stalls, ost.Jumps
+		if ost.SpecEvents > 0 {
+			ob.RollbackRate = float64(ost.Reopens) / float64(ost.SpecEvents)
+		}
+		if ost.Spans > 0 {
+			ob.RollbacksPerWindow = float64(ost.Reopens) / float64(ost.Spans)
+		}
+		if oevents > 0 {
+			ob.SpeculationWin = float64(ost.SpecEvents) / float64(oevents)
+		}
+		if owall > 0 {
+			ob.SpeedupVsConservative = float64(wall.Nanoseconds()) / float64(owall.Nanoseconds())
+		}
+	}
+	return sb, ob
+}
+
+// fillSharded derives the report row of one sharded pass.
+func fillSharded(shards, nodes, packets int, events uint64, wall, seqWall time.Duration, ov sim.WindowOverhead) ShardedBench {
 	sb := ShardedBench{
-		Shards:    shards,
-		Nodes:     nodes,
-		Packets:   uint64(nodes * packets),
-		Events:    events,
-		WallNs:    wall.Nanoseconds(),
-		Windows:   windows,
-		BarrierNs: barrierNs,
-		SeqWallNs: seqWall.Nanoseconds(),
+		Shards:       shards,
+		Nodes:        nodes,
+		Packets:      uint64(nodes * packets),
+		Events:       events,
+		WallNs:       wall.Nanoseconds(),
+		Windows:      ov.Windows,
+		BarrierNs:    ov.BarrierNs,
+		SeqWallNs:    seqWall.Nanoseconds(),
+		SpeedupValid: runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() >= shards,
+		Overhead: WindowOverheadNs{
+			BarrierNs:    ov.BarrierNs,
+			WindowWallNs: ov.WindowWallNs,
+			ShardBusyNs:  ov.ShardBusyNs,
+		},
+	}
+	if shards > 0 {
+		if loss := ov.WindowWallNs - ov.ShardBusyNs/int64(shards); loss > 0 {
+			sb.Overhead.DispatchLossNs = loss
+		}
 	}
 	if events > 0 {
 		sb.NsPerEvent = float64(wall.Nanoseconds()) / float64(events)
 	}
 	if wall > 0 {
-		sb.BarrierFrac = float64(barrierNs) / float64(wall.Nanoseconds())
+		sb.BarrierFrac = float64(ov.BarrierNs) / float64(wall.Nanoseconds())
 		sb.Speedup = float64(seqWall.Nanoseconds()) / float64(wall.Nanoseconds())
 	}
 	return sb
 }
 
 // kernelRingStorm is one pass of the sharded storm at the given shard
-// count (1 = the sequential kernel).
-func kernelRingStorm(nodes, packets, shards int) (wall time.Duration, events uint64, charged sim.Duration, windows uint64, barrierNs int64) {
-	eng := sim.NewSharded(1, shards)
+// count (1 = the sequential kernel) and scheduling mode.
+func kernelRingStorm(nodes, packets, shards int, optimistic bool) (wall time.Duration, events uint64, charged sim.Duration, ov sim.WindowOverhead, ost sim.OptStats) {
+	mode := sim.Conservative
+	if optimistic {
+		mode = sim.Optimistic
+	}
+	eng := sim.NewShardedConfig(1, sim.ShardConfig{Shards: shards, Mode: mode})
 	defer eng.Shutdown()
 	u := am.NewUniverse(eng, nodes, cm5.DefaultCostModel())
 	received := make([]int, nodes)
@@ -245,8 +359,7 @@ func kernelRingStorm(nodes, packets, shards int) (wall time.Duration, events uin
 	if err != nil {
 		panic(fmt.Sprintf("exp: ring storm (shards=%d) deadlocked: %v", shards, err))
 	}
-	w, b := eng.WindowStats()
-	return wall, eng.Events(), eng.Charged(), w, b.Nanoseconds()
+	return wall, eng.Events(), eng.Charged(), eng.WindowOverhead(), eng.OptStats()
 }
 
 // benchSuite lists the experiments timed by Bench, in `oamlab all` order.
@@ -302,7 +415,7 @@ func Bench(scale Scale) (*BenchResult, error) {
 	if shards < 2 {
 		shards = 2
 	}
-	res.KernelSharded = KernelStormSharded(ringNodes, ringPackets, shards)
+	res.KernelSharded, res.KernelOptimistic = KernelStormOptimistic(ringNodes, ringPackets, shards)
 	res.KernelObserved, _ = KernelStormObserved(warmup, packets)
 	if res.Kernel.NsPerEvent > 0 {
 		res.ObsOverheadPct = 100 * (res.KernelObserved.NsPerEvent/res.Kernel.NsPerEvent - 1)
@@ -368,7 +481,15 @@ func (r *BenchResult) Table() *Table {
 			fmt.Sprintf("sharded kernel: %d shards over %d nodes, %.0f ns/event, %d windows, %.1f%% barrier, %.2fx vs sequential",
 				r.KernelSharded.Shards, r.KernelSharded.Nodes, r.KernelSharded.NsPerEvent,
 				r.KernelSharded.Windows, 100*r.KernelSharded.BarrierFrac, r.KernelSharded.Speedup),
+			fmt.Sprintf("optimistic kernel: %d spans (%d reopens, %.1f%% speculative events), %.2fx vs sequential, %.2fx vs conservative",
+				r.KernelOptimistic.Spans, r.KernelOptimistic.Reopens,
+				100*r.KernelOptimistic.SpeculationWin,
+				r.KernelOptimistic.Speedup, r.KernelOptimistic.SpeedupVsConservative),
 		},
+	}
+	if !r.KernelSharded.SpeedupValid {
+		t.Notes = append(t.Notes,
+			"sharded/optimistic speedups are not parallelism measurements on this host (speedup_valid=false)")
 	}
 	if r.Warning != "" {
 		t.Notes = append(t.Notes, "WARNING: "+r.Warning)

@@ -21,6 +21,11 @@ var Workers = runtime.GOMAXPROCS(0)
 // budget.
 var Shards = 1
 
+// Optimistic selects the engines' speculative span scheduler instead of
+// lockstep windows for sharded app runs (sim.Optimistic; no effect when
+// the resolved shard count is 1). Results are bit-identical either way.
+var Optimistic = false
+
 // EffectiveWorkers is the harness width actually used: Workers, shrunk so
 // that concurrent cells × shard runners per cell never exceeds
 // GOMAXPROCS. Without the cap, every cell would spin Shards goroutines of

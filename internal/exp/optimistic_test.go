@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestOptimisticEquivalenceApps: for all four applications, an optimistic
+// sharded run — speculative commit spans instead of lockstep windows — is
+// indistinguishable from the sequential one: same result struct, same
+// Charged(), and a canonical schedule trace that hashes identically.
+func TestOptimisticEquivalenceApps(t *testing.T) {
+	for _, app := range []string{"triangle", "tsp", "sor", "water"} {
+		seq := runShardedApp(t, app, 1, false)
+		if seq.traceLen == 0 {
+			t.Fatalf("%s: sequential run produced an empty schedule trace", app)
+		}
+		for _, s := range shardCounts[1:] {
+			got := runShardedApp(t, app, s, true)
+			if got.res != seq.res {
+				t.Errorf("%s: optimistic result at shards=%d differs from sequential:\n got %+v\nwant %+v",
+					app, s, got.res, seq.res)
+			}
+			if got.charged != seq.charged {
+				t.Errorf("%s: optimistic Charged() at shards=%d = %v, want %v",
+					app, s, got.charged, seq.charged)
+			}
+			if got.traceHash != seq.traceHash || got.traceLen != seq.traceLen {
+				t.Errorf("%s: optimistic schedule trace at shards=%d (hash %#x, %d bytes) differs from sequential (hash %#x, %d bytes)",
+					app, s, got.traceHash, got.traceLen, seq.traceHash, seq.traceLen)
+			}
+		}
+	}
+}
+
+// TestOptimisticEquivalenceChaos: the full quick chaos sweep — loss,
+// duplication, a mid-run crash, and a permanent partition — produces
+// byte-identical rows (including the fault-trace hashes) under optimistic
+// sharding at every shard count. Spans are cut at fault-plan edges (see
+// cm5.Machine.NextBound), so speculation crosses slow windows and
+// partitions without perturbing a single fault decision.
+func TestOptimisticEquivalenceChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the chaos sweep three times")
+	}
+	savedShards, savedWorkers, savedOpt := Shards, Workers, Optimistic
+	defer func() { Shards, Workers, Optimistic = savedShards, savedWorkers, savedOpt }()
+	Workers = 1
+
+	var seq []ChaosRow
+	for _, s := range shardCounts {
+		Shards, Optimistic = s, s > 1
+		rows, err := Chaos(Scale{Quick: true})
+		if err != nil {
+			t.Fatalf("optimistic chaos sweep (shards=%d): %v", s, err)
+		}
+		for i, r := range rows {
+			if !r.OK {
+				t.Errorf("optimistic chaos row %d (shards=%d): wrong answer", i, s)
+			}
+		}
+		if s == 1 {
+			seq = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, seq) {
+			for i := range rows {
+				if rows[i] != seq[i] {
+					t.Errorf("optimistic chaos row %d at shards=%d differs from sequential:\n got %+v\nwant %+v",
+						i, s, rows[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptimisticEquivalenceSched: the control-plane chaos grid — event
+// record and fault-trace hashes included — is byte-identical under
+// optimistic sharding.
+func TestOptimisticEquivalenceSched(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sched sweep three times")
+	}
+	savedShards, savedWorkers, savedOpt := Shards, Workers, Optimistic
+	defer func() { Shards, Workers, Optimistic = savedShards, savedWorkers, savedOpt }()
+	Workers = 1
+
+	var seq []SchedRow
+	for _, s := range shardCounts {
+		Shards, Optimistic = s, s > 1
+		rows, err := Sched(Scale{Quick: true})
+		if err != nil {
+			t.Fatalf("optimistic sched sweep (shards=%d): %v", s, err)
+		}
+		if s == 1 {
+			seq = rows
+			continue
+		}
+		if !reflect.DeepEqual(rows, seq) {
+			for i := range rows {
+				if rows[i] != seq[i] {
+					t.Errorf("optimistic sched row %d at shards=%d differs from sequential:\n got %+v\nwant %+v",
+						i, s, rows[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptimisticBenchPass: the bench report's optimistic storm runs,
+// matches the sequential pass bit-for-bit (KernelStormOptimistic panics
+// otherwise), and reports coherent counters. Speedup numbers are only
+// validity-checked, never asserted — that is CI's job, keyed off
+// speedup_valid.
+func TestOptimisticBenchPass(t *testing.T) {
+	sb, ob := KernelStormOptimistic(4, 400, 2)
+	if sb.Windows == 0 {
+		t.Fatalf("conservative pass ran no windows: %+v", sb)
+	}
+	if ob.Spans == 0 {
+		t.Fatalf("optimistic pass ran no spans: %+v", ob)
+	}
+	if ob.Spans >= sb.Windows {
+		t.Errorf("optimistic spans (%d) not fewer than conservative windows (%d): speculation is not amortizing barriers",
+			ob.Spans, sb.Windows)
+	}
+	if ob.Events != sb.Events {
+		t.Errorf("event counts differ: optimistic %d, conservative %d", ob.Events, sb.Events)
+	}
+	if ob.SpecEvents == 0 {
+		t.Errorf("optimistic pass executed no speculative events: %+v", ob)
+	}
+	wantValid := runtime.GOMAXPROCS(0) > 1 && runtime.NumCPU() >= 2
+	if sb.SpeedupValid != wantValid || ob.SpeedupValid != wantValid {
+		t.Errorf("speedup_valid = %v/%v, want %v (GOMAXPROCS=%d, NumCPU=%d)",
+			sb.SpeedupValid, ob.SpeedupValid, wantValid, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	if sb.Overhead.WindowWallNs <= 0 || sb.Overhead.ShardBusyNs <= 0 {
+		t.Errorf("window overhead breakdown not populated: %+v", sb.Overhead)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -61,6 +62,17 @@ type Engine struct {
 	rng    *rand.Rand
 	probe  Probe
 	hook   WindowHook
+	// arrive/spanHook are the hook's optional optimistic-mode facets
+	// (captured by type assertion in SetWindowHook).
+	arrive   ArrivalHook
+	spanHook SpanHook
+
+	// Optimistic-mode configuration (see ShardConfig); opt is nil for
+	// sequential and conservative engines.
+	mode     ShardMode
+	ckpt     Duration
+	maxDrift Duration
+	opt      *optState
 
 	// userTracer receives trace records in sharded mode, where shards
 	// buffer transitions during windows and the coordinator flushes them
@@ -72,9 +84,12 @@ type Engine struct {
 	// globals is the cross-shard control queue of a sharded run: crash
 	// instants, collective releases — events that must fire at an exact
 	// instant before any shard's same-time work. Sequential engines keep
-	// these on the one shard's heap (classGlobal) instead.
+	// these on the one shard's heap (classGlobal) instead. gmu guards it:
+	// optimistic runs schedule collective releases eagerly from inside
+	// spans, concurrently with the shards.
 	globals []globalEvent
 	gseq    uint64
+	gmu     sync.Mutex
 
 	stopFlag atomic.Bool
 	deadline Time
@@ -82,6 +97,10 @@ type Engine struct {
 	runnersStarted bool
 	windows        uint64
 	barrierNs      int64
+	// windowWallNs is the host time spent inside parallel windows/spans
+	// (handshake send to last completion); with the shards' own busy
+	// time it decomposes where a sharded run's wall clock went.
+	windowWallNs int64
 }
 
 // globalEvent is one entry in the sharded engine's control queue, ordered
@@ -106,6 +125,17 @@ func New(seed int64) *Engine {
 // windows. The same seed and workload yield the same simulation at any
 // shard count.
 func NewSharded(seed int64, shards int) *Engine {
+	return NewShardedConfig(seed, ShardConfig{Shards: shards})
+}
+
+// NewShardedConfig is NewSharded with the full shard configuration:
+// cfg.Mode == Optimistic selects speculative span execution (see
+// ShardMode and ShardConfig). A single-shard engine is always the plain
+// sequential kernel regardless of Mode. Every mode, shard count, and
+// checkpoint width yields the same simulation for the same seed and
+// workload; only wall-clock time changes.
+func NewShardedConfig(seed int64, cfg ShardConfig) *Engine {
+	shards := cfg.Shards
 	if shards < 1 {
 		shards = 1
 	}
@@ -117,8 +147,18 @@ func NewSharded(seed int64, shards int) *Engine {
 	for i := range e.shards {
 		e.shards[i] = newShard(e, i)
 	}
+	if cfg.Mode == Optimistic && shards > 1 {
+		e.mode = Optimistic
+		e.ckpt = cfg.CheckpointEvery
+		e.maxDrift = cfg.MaxDrift
+		e.opt = newOptState(e)
+	}
 	return e
 }
+
+// Mode reports the engine's shard mode (Conservative for sequential and
+// lockstep-sharded engines).
+func (e *Engine) Mode() ShardMode { return e.mode }
 
 // sharded reports whether this engine runs more than one shard.
 func (e *Engine) sharded() bool { return len(e.shards) > 1 }
@@ -169,8 +209,14 @@ func (e *Engine) SetProbe(p Probe) {
 }
 
 // SetWindowHook installs the machine layer's window hook (lookahead bound
-// and barrier merge). Only consulted by sharded runs.
-func (e *Engine) SetWindowHook(h WindowHook) { e.hook = h }
+// and barrier merge). Only consulted by sharded runs. Hooks that also
+// implement ArrivalHook and/or SpanHook participate in optimistic mode
+// (eager cross-shard arrivals; span cuts at fault-plan boundaries).
+func (e *Engine) SetWindowHook(h WindowHook) {
+	e.hook = h
+	e.arrive, _ = h.(ArrivalHook)
+	e.spanHook, _ = h.(SpanHook)
+}
 
 // Charged reports the total virtual CPU time consumed by completed
 // charges so far, summed across shards.
@@ -222,11 +268,35 @@ func (e *Engine) Live() int {
 	return n
 }
 
-// WindowStats reports how many parallel windows a sharded run executed
-// and the host time spent in barriers (merging cross-shard traffic).
-// Zero for sequential engines.
+// WindowStats reports how many parallel windows (or, optimistic, commit
+// spans) a sharded run executed and the host time spent in barriers
+// (merging cross-shard traffic). Zero for sequential engines.
 func (e *Engine) WindowStats() (windows uint64, barrier time.Duration) {
 	return e.windows, time.Duration(e.barrierNs)
+}
+
+// WindowOverhead decomposes where a sharded run's host time went, for
+// honest barrier accounting: BarrierNs is coordinator merge + trace-flush
+// time; WindowWallNs is the wall time of the parallel windows themselves
+// (handshake send to last shard done); ShardBusyNs sums every shard's
+// in-window kernel time. WindowWallNs minus ShardBusyNs/Shards
+// approximates the pure coordination loss — channel handshakes, straggler
+// imbalance, and scheduler latency — that BarrierFrac alone hides.
+type WindowOverhead struct {
+	Windows      uint64
+	BarrierNs    int64
+	WindowWallNs int64
+	ShardBusyNs  int64
+}
+
+// WindowOverhead reports the sharded run's host-time decomposition; zero
+// for sequential engines. Call it after Run returns.
+func (e *Engine) WindowOverhead() WindowOverhead {
+	ov := WindowOverhead{Windows: e.windows, BarrierNs: e.barrierNs, WindowWallNs: e.windowWallNs}
+	for _, sh := range e.shards {
+		ov.ShardBusyNs += sh.busyNs
+	}
+	return ov
 }
 
 // At schedules fn on shard 0 at absolute time t; see Shard.At. On a
@@ -260,13 +330,19 @@ func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
 // total event order is identical in sequential and sharded runs. In a
 // sharded engine, globals run on the coordinator goroutine between
 // windows; they may touch any shard's state and schedule onto any shard.
-// AtGlobal must be called from setup code or barrier/global context, not
-// from inside a parallel window.
+// Under a conservative engine AtGlobal must be called from setup code or
+// barrier/global context, not from inside a parallel window; under an
+// optimistic engine it may also be called from inside a span (eagerly
+// applied collectives do), in which case the running span is cut so the
+// global still fires between spans — every such instant provably exceeds
+// every event time any shard can reach this span (collective latencies
+// exceed the lookahead).
 func (e *Engine) AtGlobal(t Time, key uint64, fn func()) {
 	if !e.sharded() {
 		e.shards[0].schedule(t, classGlobal, key, evFunc, fn, nil, nil)
 		return
 	}
+	e.gmu.Lock()
 	e.gseq++
 	e.globals = append(e.globals, globalEvent{at: t, key: key, seq: e.gseq, fn: fn})
 	sort.SliceStable(e.globals, func(i, j int) bool {
@@ -279,6 +355,10 @@ func (e *Engine) AtGlobal(t Time, key uint64, fn func()) {
 		}
 		return a.seq < b.seq
 	})
+	e.gmu.Unlock()
+	if e.opt != nil {
+		e.opt.cutSpan(t)
+	}
 }
 
 // Timer is a handle to a scheduled kernel callback that can be cancelled
@@ -302,9 +382,10 @@ func (t *Timer) Cancel() bool {
 	return true
 }
 
-// Stop terminates Run after the current event completes (sequential) or
-// at the next window barrier (sharded). Call Shutdown to release the
-// goroutines of any still-live processes.
+// Stop terminates Run after the current event completes (sequential), at
+// the next window barrier (conservative sharded), or at the next span
+// commit (optimistic). Call Shutdown to release the goroutines of any
+// still-live processes.
 func (e *Engine) Stop() {
 	if !e.sharded() {
 		e.shards[0].stopped = true
@@ -340,7 +421,21 @@ func (e *Engine) Shutdown() {
 		}
 		e.runnersStarted = false
 	}
+	// Reap every shard at the engine's final virtual time. Shards bump
+	// now at mode-dependent points (lockstep window starts vs optimistic
+	// span starts), so per-shard now here would leak the scheduling mode
+	// into shutdown-time trace timestamps; the maximum across shards is
+	// the time of the last executed event, identical in every mode.
+	var end Time
 	for _, sh := range e.shards {
+		if sh.now > end {
+			end = sh.now
+		}
+	}
+	for _, sh := range e.shards {
+		if sh.now < end {
+			sh.now = end
+		}
 		sh.shutdown()
 	}
 	e.flushTrace()
@@ -374,7 +469,7 @@ func (e *Engine) Run() error {
 		sh.runKernel()
 		return e.finishRun()
 	}
-	e.runSharded(maxTime)
+	e.runWindows(maxTime)
 	return e.finishRun()
 }
 
@@ -390,13 +485,35 @@ func (e *Engine) RunUntil(deadline Time) error {
 		}
 		return e.finishRun()
 	}
-	e.runSharded(deadline)
+	e.runWindows(deadline)
 	for _, sh := range e.shards {
 		if sh.now < deadline && sh.failure == nil && sh.kernelPanic == nil {
 			sh.now = deadline
 		}
 	}
 	return e.finishRun()
+}
+
+// runWindows drives a sharded run in the engine's configured mode.
+func (e *Engine) runWindows(deadline Time) {
+	if e.mode == Optimistic {
+		e.runOptimistic(deadline)
+		return
+	}
+	e.runSharded(deadline)
+}
+
+// dispatchWindow hands one window (or span) ending at last to every shard
+// runner and waits for all of them, accounting the wall time.
+func (e *Engine) dispatchWindow(last Time) {
+	start := time.Now()
+	for _, sh := range e.shards {
+		sh.windowCh <- last
+	}
+	for _, sh := range e.shards {
+		<-sh.windowDone
+	}
+	e.windowWallNs += time.Since(start).Nanoseconds()
 }
 
 // startRunners launches the per-shard window-runner goroutines (once).
@@ -469,12 +586,7 @@ func (e *Engine) runSharded(deadline Time) {
 			continue
 		}
 		e.windows++
-		for _, sh := range e.shards {
-			sh.windowCh <- last
-		}
-		for _, sh := range e.shards {
-			<-sh.windowDone
-		}
+		e.dispatchWindow(last)
 	}
 }
 

@@ -3,6 +3,9 @@ package sim
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Shard is one partition of the simulation kernel: an event heap, a live
@@ -60,6 +63,31 @@ type Shard struct {
 	// buffered reports that tracer output must be buffered (sharded mode
 	// with a tracer installed).
 	buffered bool
+	// busyNs accumulates host time spent inside window/span kernel
+	// tenures; part of the WindowOverhead decomposition.
+	busyNs int64
+
+	// Optimistic-mode state (see optimistic.go); opt is nil otherwise
+	// and none of this is touched.
+	opt  *optState
+	inmu sync.Mutex // guards inbox/inboxSpare appends from sender shards
+	// inbox holds eagerly published cross-shard arrivals awaiting
+	// materialization by this shard; inboxSpare is the drain-time double
+	// buffer. inboxPending mirrors len(inbox) > 0 for lock-free checks.
+	inbox        []inbound
+	inboxSpare   []inbound
+	inboxPending atomic.Bool
+	// cachedH is the last computed execution horizon (monotone within a
+	// span; reset at span start). asleep marks the shard inside
+	// cond.Wait — its heap is then quiescent and readable by the awake
+	// shards. tentDone marks a tentative claim that this shard finished
+	// the span; retracting it on a straggler drain counts a reopen.
+	cachedH    Time
+	asleep     bool
+	tentDone   bool
+	reopens    uint64
+	stalls     uint64
+	specEvents uint64
 }
 
 func newShard(e *Engine, idx int) *Shard {
@@ -230,11 +258,20 @@ const (
 // continues straight back into process context on the live stack.
 func (sh *Shard) loop(self *Proc) loopOutcome {
 	for {
-		if sh.stopped || sh.failure != nil || sh.kernelPanic != nil || sh.heap.len() == 0 {
-			return loopEnded
-		}
-		if sh.heap.ev[0].at > sh.deadline {
-			return loopEnded
+		if o := sh.opt; o != nil {
+			// Optimistic mode: the gate drains eager arrivals and decides
+			// whether the next event is provably safe to fire, blocking
+			// mid-span when it is not (see optimistic.go).
+			if !o.gate(sh) {
+				return loopEnded
+			}
+		} else {
+			if sh.stopped || sh.failure != nil || sh.kernelPanic != nil || sh.heap.len() == 0 {
+				return loopEnded
+			}
+			if sh.heap.ev[0].at > sh.deadline {
+				return loopEnded
+			}
 		}
 		ev := sh.heap.pop()
 		if ev.cancelled {
@@ -307,7 +344,9 @@ func (sh *Shard) runKernel() {
 func (sh *Shard) windowRunner() {
 	for d := range sh.windowCh {
 		sh.deadline = d
+		t0 := time.Now()
 		sh.runKernel()
+		sh.busyNs += time.Since(t0).Nanoseconds()
 		sh.windowDone <- struct{}{}
 	}
 }
