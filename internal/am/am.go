@@ -69,20 +69,28 @@ type Probe interface {
 // SetProbe installs a dispatch probe; pass nil to disable.
 func (u *Universe) SetProbe(p Probe) { u.probe = p }
 
-// NewUniverse builds an n-node machine with schedulers and Active Message
-// endpoints installed on every node.
+// NewUniverse builds an n-node machine whose schedulers and Active
+// Message endpoints materialize on first touch: Endpoint(i)/Scheduler(i)
+// build node i's pair (and its idle process) the first time anything
+// addresses it. An SPMD run still instantiates everything — Bootstrap
+// touches every node — but a big-N universe where only k nodes run code
+// pays endpoint, scheduler, and idle-process cost for k nodes, not n.
 func NewUniverse(eng *sim.Engine, n int, cost cm5.CostModel) *Universe {
 	u := &Universe{m: cm5.NewMachine(eng, n, cost)}
 	u.scheds = make([]*threads.Scheduler, n)
 	u.eps = make([]*Endpoint, n)
-	for i := 0; i < n; i++ {
-		s := threads.NewScheduler(u.m.Node(i))
-		u.scheds[i] = s
-		ep := &Endpoint{u: u, node: u.m.Node(i), sched: s}
-		u.eps[i] = ep
-		s.SetPoller(ep)
-	}
 	return u
+}
+
+// materializeNode builds node i's scheduler/endpoint pair. Like
+// cm5.Machine.Node, call only from the owning shard's simulation context
+// or with the shards quiescent (setup, barriers).
+func (u *Universe) materializeNode(i int) {
+	s := threads.NewScheduler(u.m.Node(i))
+	u.scheds[i] = s
+	ep := &Endpoint{u: u, node: u.m.Node(i), sched: s}
+	u.eps[i] = ep
+	s.SetPoller(ep)
 }
 
 // Machine returns the underlying machine.
@@ -91,17 +99,32 @@ func (u *Universe) Machine() *cm5.Machine { return u.m }
 // N returns the node count.
 func (u *Universe) N() int { return u.m.N() }
 
-// Scheduler returns node i's thread scheduler.
-func (u *Universe) Scheduler(i int) *threads.Scheduler { return u.scheds[i] }
+// Scheduler returns node i's thread scheduler, materializing it on
+// first touch.
+func (u *Universe) Scheduler(i int) *threads.Scheduler {
+	if u.scheds[i] == nil {
+		u.materializeNode(i)
+	}
+	return u.scheds[i]
+}
 
-// Endpoint returns node i's Active Message endpoint.
-func (u *Universe) Endpoint(i int) *Endpoint { return u.eps[i] }
+// Endpoint returns node i's Active Message endpoint, materializing it on
+// first touch.
+func (u *Universe) Endpoint(i int) *Endpoint {
+	if u.eps[i] == nil {
+		u.materializeNode(i)
+	}
+	return u.eps[i]
+}
 
 // Stats returns a snapshot of the universe's AM counters, summed across
-// endpoints (MaxDepth is max-merged).
+// materialized endpoints (MaxDepth is max-merged).
 func (u *Universe) Stats() Stats {
 	var out Stats
 	for _, ep := range u.eps {
+		if ep == nil {
+			continue
+		}
 		s := &ep.stats
 		out.HandlersRun += s.HandlersRun
 		out.Sends += s.Sends

@@ -23,7 +23,7 @@ func (u *Universe) SPMD(body func(c threads.Ctx, node int)) (sim.Time, error) {
 	fin := make([]bool, n)
 	for i := 0; i < n; i++ {
 		i := i
-		u.scheds[i].Bootstrap(fmt.Sprintf("main/%d", i), func(c threads.Ctx) {
+		u.Scheduler(i).Bootstrap(fmt.Sprintf("main/%d", i), func(c threads.Ctx) {
 			body(c, i)
 			done[i] = c.P.Now()
 			fin[i] = true
@@ -44,7 +44,7 @@ func (u *Universe) SPMD(body func(c threads.Ctx, node int)) (sim.Time, error) {
 			if !fin[i] {
 				report = append(report,
 					fmt.Sprintf("node %d (blocked: %v, %d queued packets)",
-						i, u.scheds[i].Blocked(), u.m.Node(i).Pending()))
+						i, u.Scheduler(i).Blocked(), u.m.Node(i).Pending()))
 			}
 		}
 		return 0, fmt.Errorf("am: SPMD quiesced with %d of %d mains unfinished: deadlock at %s",

@@ -66,21 +66,23 @@ type ctlRound struct {
 // never observe a release that another shard has not yet made visible.
 type collective struct {
 	m       *Machine
+	idx     int    // index into Node.ctlEnter/ctlWait
 	rank    uint64 // key rank of this primitive's release globals
 	latency func(*CostModel) sim.Duration
 	rounds  map[uint64]*ctlRound
-	enterEp []uint64 // rounds entered per node
-	waitEp  []uint64 // rounds waited per node
 }
 
-func newCollective(m *Machine, rank uint64, latency func(*CostModel) sim.Duration) *collective {
+// numCollectives is the number of control-network primitives (barrier,
+// global OR, reduction) — the width of each Node's epoch bookkeeping.
+const numCollectives = 3
+
+func newCollective(m *Machine, idx int, rank uint64, latency func(*CostModel) sim.Duration) *collective {
 	return &collective{
 		m:       m,
+		idx:     idx,
 		rank:    rank,
 		latency: latency,
 		rounds:  make(map[uint64]*ctlRound),
-		enterEp: make([]uint64, m.N()),
-		waitEp:  make([]uint64, m.N()),
 	}
 }
 
@@ -136,11 +138,11 @@ func (o *ctlOp) apply() {
 // sharded one. It does not block.
 func (c *collective) enter(n *Node, or bool, red float64, op ReduceOp) {
 	node := n.id
-	epoch := c.enterEp[node]
-	if epoch != c.waitEp[node] {
+	epoch := n.ctlEnter[c.idx]
+	if epoch != n.ctlWait[c.idx] {
 		panic(fmt.Sprintf("cm5: node %d entered a collective twice without waiting", node))
 	}
-	c.enterEp[node] = epoch + 1
+	n.ctlEnter[c.idx] = epoch + 1
 	now := n.sh.Now()
 	if c.m.sharded() {
 		if c.m.optimistic {
@@ -253,11 +255,11 @@ func (c *collective) consume(epoch uint64) {
 // context, at the release instant — when the round releases.
 func (c *collective) waitAsync(n *Node, cb func(or bool, red float64)) (ready, or bool, red float64) {
 	node := n.id
-	epoch := c.waitEp[node]
-	if epoch >= c.enterEp[node] {
+	epoch := n.ctlWait[c.idx]
+	if epoch >= n.ctlEnter[c.idx] {
 		panic(fmt.Sprintf("cm5: node %d waited on a collective without entering", node))
 	}
-	c.waitEp[node] = epoch + 1
+	n.ctlWait[c.idx] = epoch + 1
 	if c.m.sharded() {
 		if c.m.optimistic {
 			// Eager wait: releases only fire between spans (they are
@@ -332,9 +334,9 @@ const (
 
 func newControlNetwork(m *Machine) *controlNetwork {
 	return &controlNetwork{
-		barrier: newCollective(m, rankBarrier, func(c *CostModel) sim.Duration { return c.BarrierLatency }),
-		or:      newCollective(m, rankOR, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
-		reduce:  newCollective(m, rankReduce, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+		barrier: newCollective(m, 0, rankBarrier, func(c *CostModel) sim.Duration { return c.BarrierLatency }),
+		or:      newCollective(m, 1, rankOR, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
+		reduce:  newCollective(m, 2, rankReduce, func(c *CostModel) sim.Duration { return c.ReduceLatency }),
 	}
 }
 

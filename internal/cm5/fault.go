@@ -153,13 +153,20 @@ func (ms *machineShard) recordFault(ev FaultEvent) {
 	ms.fevents = append(ms.fevents, ev)
 }
 
-// faultNode returns this shard's counters for node, sizing the slice on
-// first use (n is the machine's node count).
-func (ms *machineShard) faultNode(n, node int) *NodeFaultStats {
+// faultNode returns this shard's counters for node. The table is a map
+// keyed by node, not an n-sized array: per-node fault attribution only
+// pays for nodes that actually appear in fault events, so one crash in a
+// 100k-node machine costs one entry, not 100k.
+func (ms *machineShard) faultNode(node int) *NodeFaultStats {
 	if ms.fperNode == nil {
-		ms.fperNode = make([]NodeFaultStats, n)
+		ms.fperNode = make(map[int32]*NodeFaultStats)
 	}
-	return &ms.fperNode[node]
+	s := ms.fperNode[int32(node)]
+	if s == nil {
+		s = &NodeFaultStats{}
+		ms.fperNode[int32(node)] = s
+	}
+	return s
 }
 
 // dropProb returns the effective loss probability for the link src->dst.
@@ -285,10 +292,10 @@ func (m *Machine) FaultStats() FaultStats {
 func (m *Machine) NodeFaults(i int) NodeFaultStats {
 	var out NodeFaultStats
 	for s := range m.shards {
-		if pn := m.shards[s].fperNode; pn != nil {
-			out.Dropped += pn[i].Dropped
-			out.Duplicated += pn[i].Duplicated
-			out.Blackholed += pn[i].Blackholed
+		if pn := m.shards[s].fperNode[int32(i)]; pn != nil {
+			out.Dropped += pn.Dropped
+			out.Duplicated += pn.Duplicated
+			out.Blackholed += pn.Blackholed
 		}
 	}
 	return out

@@ -87,6 +87,13 @@ func (m *Machine) SetProbe(p Probe) {
 // across the engine's shards in contiguous blocks (node i on shard
 // i*S/n); with a sharded engine the machine installs itself as the
 // window hook.
+//
+// Nodes are lazy: NewMachine allocates only the node-pointer table, and
+// a node's struct (NIC, RNG attempt counters, stats attribution)
+// materializes on first touch — Node(i), a first delivery, a first send.
+// A machine whose workload touches k of its n nodes costs O(n) pointers
+// plus O(k) real state, which is what lets one engine host 100k+
+// simulated clients.
 func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
 	if n < 1 {
 		panic("cm5: machine needs at least one node")
@@ -95,27 +102,44 @@ func NewMachine(eng *sim.Engine, n int, cost CostModel) *Machine {
 	s := eng.Shards()
 	m.shards = make([]machineShard, s)
 	m.nodes = make([]*Node, n)
-	for i := range m.nodes {
-		si := i * s / n
-		m.nodes[i] = &Node{
-			id:       i,
-			m:        m,
-			nic:      newNIC(cost.NICQueueCap),
-			sh:       eng.Shard(si),
-			ms:       &m.shards[si],
-			attempts: make([]uint64, n),
-		}
-	}
 	if s > 1 {
 		m.snap = make([]int32, n)
-		for si := range m.shards {
-			m.shards[si].resv = make([]int32, n)
-		}
 		m.optimistic = eng.Mode() == sim.Optimistic
 		eng.SetWindowHook(m)
 	}
 	m.ctl = newControlNetwork(m)
+	// Pre-size the engine's calendar queues for the population this node
+	// count implies (a pending timer or flight or two per active node).
+	eng.HintEvents(2 * n)
 	return m
+}
+
+// shardIndex returns the index of the engine shard owning node i —
+// contiguous blocks, the same formula for every caller, computable
+// without materializing the node.
+func (m *Machine) shardIndex(i int) int { return i * len(m.shards) / len(m.nodes) }
+
+// materialize builds node i on first touch. It may be called only from
+// the owning shard's simulation context or from the coordinator with the
+// shards quiescent (setup code, barriers, globals): those are exactly
+// the contexts allowed to touch the node afterwards, so the sender-side
+// paths below never dereference a remote node — they work from the node
+// index alone.
+func (m *Machine) materialize(i int) *Node {
+	si := m.shardIndex(i)
+	ms := &m.shards[si]
+	nd := &Node{
+		id:  i,
+		m:   m,
+		nic: newNIC(m.cost.NICQueueCap),
+		sh:  m.eng.Shard(si),
+		ms:  ms,
+	}
+	m.nodes[i] = nd
+	// live is the shard-local materialized-node list: the barrier
+	// iterates it (occupancy snapshots) instead of sweeping all n slots.
+	ms.live = append(ms.live, nd)
+	return nd
 }
 
 // Engine returns the simulation engine driving this machine.
@@ -127,8 +151,15 @@ func (m *Machine) Cost() CostModel { return m.cost }
 // N returns the number of nodes.
 func (m *Machine) N() int { return len(m.nodes) }
 
-// Node returns node i.
-func (m *Machine) Node(i int) *Node { return m.nodes[i] }
+// Node returns node i, materializing it on first touch. Call it from
+// the shard that owns node i (or from setup/barrier context); sender
+// paths that only need to aim at a node use its index instead.
+func (m *Machine) Node(i int) *Node {
+	if nd := m.nodes[i]; nd != nil {
+		return nd
+	}
+	return m.materialize(i)
+}
 
 // sharded reports whether the machine spans more than one engine shard.
 func (m *Machine) sharded() bool { return len(m.shards) > 1 }
@@ -243,12 +274,12 @@ func (m *Machine) newDelivery(ms *machineShard, pkt *Packet) *delivery {
 // crashed while the packet was in flight, into the fault accounting. It
 // always runs on the destination node's shard.
 func (m *Machine) completeDelivery(pkt *Packet) {
-	dst := m.nodes[pkt.Dst]
+	dst := m.Node(pkt.Dst)
 	now := dst.sh.Now()
 	if f := m.fault; f != nil && f.crashed[pkt.Dst] {
 		dst.nic.abandon()
 		dst.ms.fstats.LateDrops++
-		dst.ms.faultNode(m.N(), pkt.Dst).Blackholed++
+		dst.ms.faultNode(pkt.Dst).Blackholed++
 		dst.ms.recordFault(FaultEvent{T: now, Kind: FaultLateDrop, Src: pkt.Src, Dst: pkt.Dst})
 		if m.probe != nil {
 			m.probe.PacketLost(now, pkt.Src, pkt.Dst, FaultLateDrop)
@@ -289,8 +320,16 @@ type Node struct {
 	flightSeq uint64
 	// attempts counts TryInject calls per destination; it seeds the
 	// per-flight RNG streams, so a draw's value depends only on
-	// (src, dst, attempt), never on unrelated event order.
-	attempts []uint64
+	// (src, dst, attempt), never on unrelated event order. Sparse: a
+	// dense per-destination array here was the machine's O(nodes²).
+	attempts attemptCounter
+	// ctlEnter/ctlWait are this node's collective epochs (entered and
+	// waited rounds), indexed by collective (barrier, OR, reduce). They
+	// live on the Node rather than in n-sized arrays on the collectives
+	// so an untouched node costs the control network nothing, and they
+	// are node-local, so shard goroutines never contend on them.
+	ctlEnter [numCollectives]uint64
+	ctlWait  [numCollectives]uint64
 
 	// wake, if non-nil, is invoked (in kernel context) when a packet is
 	// delivered into this node's input queue. The thread scheduler
@@ -323,33 +362,40 @@ func (n *Node) InFlight() bool { return n.nic.reserved > 0 }
 // NetworkFull reports whether an injection toward dst would be refused
 // right now. This is the OAM "network busy" abort condition.
 func (n *Node) NetworkFull(dst int) bool {
-	return n.dstFull(n.m.nodes[dst])
+	return n.dstFull(dst)
 }
 
-// dstFull is the sender-side "network full" predicate. For a destination
-// on the sender's own shard it reads the NIC exactly, as always. For a
-// cross-shard destination it conservatively combines the barrier-time
-// occupancy snapshot with the reservations this shard has made toward
-// dst during the current window; it cannot see same-window pops or other
-// shards' reservations, which is the one place sharded execution is
-// approximate — workloads that saturate a NIC within a single lookahead
-// window should run with one shard.
-func (n *Node) dstFull(dst *Node) bool {
-	if dst.sh == n.sh {
-		return dst.nic.full()
+// dstFull is the sender-side "network full" predicate, working from the
+// destination index alone so aiming at a node never materializes it (an
+// unmaterialized node has an empty NIC by construction). For a
+// destination on the sender's own shard it reads the NIC exactly, as
+// always. For a cross-shard destination it conservatively combines the
+// barrier-time occupancy snapshot with the reservations this shard has
+// made toward dst during the current window; it cannot see same-window
+// pops or other shards' reservations, which is the one place sharded
+// execution is approximate — workloads that saturate a NIC within a
+// single lookahead window should run with one shard. Every NIC has
+// capacity cost.NICQueueCap, so the remote check needs no remote state.
+func (n *Node) dstFull(dst int) bool {
+	if n.m.shardIndex(dst) == n.sh.Index() {
+		if nd := n.m.nodes[dst]; nd != nil {
+			return nd.nic.full()
+		}
+		return false
 	}
-	return int(n.m.snap[dst.id])+int(n.ms.resv[dst.id]) >= dst.nic.cap
+	return int(n.m.snap[dst])+int(n.ms.resvFor(dst)) >= n.m.cost.NICQueueCap
 }
 
 // reserveToward claims a NIC slot toward dst: directly for a same-shard
-// destination, or in the window buffer for a cross-shard one (the
-// barrier converts buffered claims into real reservations).
-func (n *Node) reserveToward(dst *Node) {
-	if dst.sh == n.sh {
-		dst.nic.reserve()
+// destination (materializing it — a packet is headed there), or in the
+// window buffer for a cross-shard one (the barrier converts buffered
+// claims into real reservations on the destination shard).
+func (n *Node) reserveToward(dst int) {
+	if n.m.shardIndex(dst) == n.sh.Index() {
+		n.m.Node(dst).nic.reserve()
 		return
 	}
-	n.ms.resv[dst.id]++
+	n.ms.reserveCross(n.m.N(), dst)
 }
 
 // nextFlightKey returns the canonical delivery key for the next delivery
@@ -364,15 +410,18 @@ func (n *Node) nextFlightKey() uint64 {
 // destination lives on another shard (conservative mode); or published
 // eagerly into the destination shard's inbox (optimistic mode — the
 // arrival time is already final, so the flight can cross immediately).
-func (n *Node) launch(dst *Node, pkt *Packet, wire sim.Duration) {
+// The destination node itself is never touched here: it materializes on
+// its own shard when the delivery completes.
+func (n *Node) launch(dst int, pkt *Packet, wire sim.Duration) {
 	at := n.sh.Now().Add(wire)
 	key := n.nextFlightKey()
-	if dst.sh == n.sh {
+	si := n.m.shardIndex(dst)
+	if si == n.sh.Index() {
 		n.sh.AtDelivery(at, key, n.m.newDelivery(n.ms, pkt))
 		return
 	}
 	if n.m.optimistic {
-		dst.sh.Inject(at, key, pkt)
+		n.m.eng.Shard(si).Inject(at, key, pkt)
 		return
 	}
 	n.ms.outbox = append(n.ms.outbox, flight{at: at, key: key, pkt: pkt})
@@ -385,7 +434,7 @@ func (n *Node) launch(dst *Node, pkt *Packet, wire sim.Duration) {
 // pool, and the heap are all shard-local here.
 func (m *Machine) Arrive(sh *sim.Shard, at sim.Time, key uint64, payload any) {
 	pkt := payload.(*Packet)
-	dst := m.nodes[pkt.Dst]
+	dst := m.Node(pkt.Dst)
 	dst.nic.forceReserve()
 	sh.AtDelivery(at, key, m.newDelivery(dst.ms, pkt))
 }
@@ -404,11 +453,10 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 	if pkt.Dst < 0 || pkt.Dst >= len(n.m.nodes) {
 		panic(fmt.Sprintf("cm5: packet dst %d out of range", pkt.Dst))
 	}
-	dst := n.m.nodes[pkt.Dst]
+	dst := pkt.Dst
 	f := n.m.fault
 	now := n.sh.Now()
-	attempt := n.attempts[pkt.Dst]
-	n.attempts[pkt.Dst]++
+	attempt := n.attempts.next(dst)
 	var fr flightRNG
 	var lossKind FaultKind
 	lost := false
@@ -455,13 +503,13 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			if !f.crashed[pkt.Src] {
 				crashedAt = pkt.Dst
 			}
-			n.ms.faultNode(n.m.N(), crashedAt).Blackholed++
+			n.ms.faultNode(crashedAt).Blackholed++
 		case FaultPartitionDrop:
 			n.ms.fstats.PartitionDrops++
-			n.ms.faultNode(n.m.N(), pkt.Src).Dropped++
+			n.ms.faultNode(pkt.Src).Dropped++
 		default:
 			n.ms.fstats.Dropped++
-			n.ms.faultNode(n.m.N(), pkt.Src).Dropped++
+			n.ms.faultNode(pkt.Src).Dropped++
 		}
 		n.ms.recordFault(FaultEvent{T: now, Kind: lossKind, Src: pkt.Src, Dst: pkt.Dst})
 		if n.m.probe != nil {
@@ -496,7 +544,7 @@ func (n *Node) TryInject(p *sim.Proc, pkt *Packet) bool {
 			n.reserveToward(dst)
 			dupWire = cost.WireLatency + f.extraLatency(&fr, n.ms, now, pkt.Src, pkt.Dst)
 			n.ms.fstats.Duplicated++
-			n.ms.faultNode(n.m.N(), pkt.Src).Duplicated++
+			n.ms.faultNode(pkt.Src).Duplicated++
 			n.ms.recordFault(FaultEvent{T: now, Kind: FaultDuplicate, Src: pkt.Src, Dst: pkt.Dst})
 		}
 	}

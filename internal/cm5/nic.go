@@ -13,11 +13,15 @@ type nic struct {
 	cap      int
 }
 
+// newNIC builds a NIC with the given capacity. The ring itself is lazy —
+// allocated by the first deliver — so a node that sends, computes, or
+// just exists never pays queue memory (cap * 8 bytes) for packets it
+// never receives.
 func newNIC(capacity int) *nic {
 	if capacity < 1 {
 		panic("cm5: NIC capacity must be positive")
 	}
-	return &nic{queue: make([]*Packet, capacity), cap: capacity}
+	return &nic{cap: capacity}
 }
 
 // full reports whether a new injection toward this NIC would exceed the
@@ -48,6 +52,9 @@ func (n *nic) deliver(p *Packet) {
 		panic("cm5: delivery without reservation")
 	}
 	n.reserved--
+	if n.queue == nil {
+		n.queue = make([]*Packet, n.cap)
+	}
 	if n.count == len(n.queue) {
 		grown := make([]*Packet, 2*len(n.queue))
 		for i := 0; i < n.count; i++ {

@@ -17,6 +17,11 @@ type machineShard struct {
 	freePkt   *Packet
 	freeDeliv *delivery
 
+	// live lists this shard's materialized nodes, in materialization
+	// order. Barrier-time per-node work (occupancy snapshots) walks these
+	// lists instead of all n node slots, keeping the barrier O(active).
+	live []*Node
+
 	// outbox buffers cross-shard packet flights injected during the
 	// current window; the barrier schedules them onto the destination
 	// shards in canonical (arrival time, flight key) order — which the
@@ -27,8 +32,11 @@ type machineShard struct {
 	// resv counts, per destination node, the NIC slots this shard has
 	// claimed during the current window for cross-shard flights. Added to
 	// the barrier-time occupancy snapshot, it gives the sender's
-	// "network full" view without touching the remote NIC.
-	resv []int32
+	// "network full" view without touching the remote NIC. Allocated on
+	// the first cross-shard send; resvTouched lists the destinations with
+	// nonzero counts so the barrier clears O(touched), not O(n).
+	resv        []int32
+	resvTouched []int32
 
 	// ctlOps buffers collective enters/waits/wait-consumptions performed
 	// during the current window; the barrier applies them.
@@ -37,8 +45,29 @@ type machineShard struct {
 	// Fault accounting is sharded and merged lazily at read (see
 	// fault.go), so injection sites never contend.
 	fstats   FaultStats
-	fperNode []NodeFaultStats
+	fperNode map[int32]*NodeFaultStats
 	fevents  []FaultEvent
+}
+
+// reserveCross records a window-local NIC-slot claim toward cross-shard
+// destination dst (n is the machine's node count, sizing the table on
+// first use).
+func (ms *machineShard) reserveCross(n, dst int) {
+	if ms.resv == nil {
+		ms.resv = make([]int32, n)
+	}
+	if ms.resv[dst] == 0 {
+		ms.resvTouched = append(ms.resvTouched, int32(dst))
+	}
+	ms.resv[dst]++
+}
+
+// resvFor reads this shard's window-local claims toward dst.
+func (ms *machineShard) resvFor(dst int) int32 {
+	if ms.resv == nil {
+		return 0
+	}
+	return ms.resv[dst]
 }
 
 // flight is one buffered cross-shard packet delivery.
@@ -111,14 +140,17 @@ func (m *Machine) Barrier() {
 	for si := range m.shards {
 		ms := &m.shards[si]
 		for _, fl := range ms.outbox {
-			dst := m.nodes[fl.pkt.Dst]
+			// The coordinator is the one non-owner context allowed to
+			// materialize a node: every shard is quiescent here.
+			dst := m.Node(fl.pkt.Dst)
 			dst.nic.forceReserve()
 			dst.sh.AtDelivery(fl.at, fl.key, m.newDelivery(dst.ms, fl.pkt))
 		}
 		ms.outbox = ms.outbox[:0]
-		for i := range ms.resv {
-			ms.resv[i] = 0
+		for _, d := range ms.resvTouched {
+			ms.resv[d] = 0
 		}
+		ms.resvTouched = ms.resvTouched[:0]
 	}
 	for si := range m.shards {
 		ms := &m.shards[si]
@@ -129,7 +161,12 @@ func (m *Machine) Barrier() {
 		}
 		ms.ctlOps = ms.ctlOps[:0]
 	}
-	for i, n := range m.nodes {
-		m.snap[i] = int32(n.nic.count + n.nic.reserved)
+	// Refresh the occupancy snapshot over materialized nodes only: an
+	// unmaterialized node has an empty NIC and its snapshot entry has
+	// been zero since birth, so O(active) covers all n.
+	for si := range m.shards {
+		for _, nd := range m.shards[si].live {
+			m.snap[nd.id] = int32(nd.nic.count + nd.nic.reserved)
+		}
 	}
 }

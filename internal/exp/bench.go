@@ -3,8 +3,10 @@ package exp
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"repro/internal/am"
@@ -118,13 +120,27 @@ type ExpBench struct {
 	ParMs float64 `json:"par_ms"`
 }
 
+// PassRSS is one peak-RSS reading, taken after the named bench pass.
+// The OS reports a high-water mark, so the series is monotone; the pass
+// where the number jumps is the pass that owned the peak.
+type PassRSS struct {
+	Pass         string `json:"pass"`
+	PeakRSSBytes int64  `json:"peak_rss_bytes"`
+}
+
 // BenchResult is the full host-performance report written to
 // BENCH_kernel.json by `oamlab bench`.
 type BenchResult struct {
-	GoVersion    string `json:"go_version"`
-	GOMAXPROCS   int    `json:"gomaxprocs"`
-	NumCPU       int    `json:"num_cpu"`
-	WorkerCounts []int  `json:"worker_counts"` // effective harness widths of the seq and par passes
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// GOGC and GOMEMLIMIT pin the GC configuration the numbers were taken
+	// under — an aggressive GOGC or a tight memory limit changes ns/event
+	// and allocation figures, so artifacts are only comparable when these
+	// match. GOMEMLIMIT is math.MaxInt64 when unset.
+	GOGC         int   `json:"gogc"`
+	GOMEMLIMIT   int64 `json:"gomemlimit"`
+	WorkerCounts []int `json:"worker_counts"` // effective harness widths of the seq and par passes
 	// Shards is the engine shard count the harness cells requested
 	// (exp.Shards); EffectiveWorkers is the harness width after the
 	// cells × shards ≤ GOMAXPROCS budget.
@@ -149,10 +165,15 @@ type BenchResult struct {
 	// cost of that instrumentation relative to the uninstrumented pass.
 	KernelObserved KernelBench `json:"kernel_observed"`
 	ObsOverheadPct float64     `json:"obs_overhead_pct"`
-	Experiments    []ExpBench  `json:"experiments"`
-	SeqMsTotal     float64     `json:"seq_ms_total"`
-	ParMsTotal     float64     `json:"par_ms_total"`
-	Speedup        float64     `json:"speedup"`
+	// KernelScale is the node-count sweep: ns/event flatness and
+	// bytes/node under lazy materialization (see ScaleBench).
+	KernelScale ScaleBench `json:"kernel_scale"`
+	// RSS is the peak-RSS-after-each-pass series (monotone high-water).
+	RSS         []PassRSS  `json:"rss"`
+	Experiments []ExpBench `json:"experiments"`
+	SeqMsTotal  float64    `json:"seq_ms_total"`
+	ParMsTotal  float64    `json:"par_ms_total"`
+	Speedup     float64    `json:"speedup"`
 }
 
 // KernelStorm runs the kernel microbenchmark: warmup packets to fill the
@@ -397,16 +418,24 @@ func Bench(scale Scale) (*BenchResult, error) {
 	if scale.Quick {
 		mode = "quick"
 	}
+	gogc := debug.SetGCPercent(100)
+	debug.SetGCPercent(gogc)
 	res := &BenchResult{
 		GoVersion:        runtime.Version(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
 		NumCPU:           runtime.NumCPU(),
+		GOGC:             gogc,
+		GOMEMLIMIT:       debug.SetMemoryLimit(-1),
 		Shards:           Shards,
 		EffectiveWorkers: EffectiveWorkers(),
 		Quick:            scale.Quick,
 		Mode:             mode,
 		Kernel:           KernelStorm(warmup, packets),
 	}
+	markRSS := func(pass string) {
+		res.RSS = append(res.RSS, PassRSS{Pass: pass, PeakRSSBytes: peakRSSBytes()})
+	}
+	markRSS("kernel")
 	// Sharded pass: a ring storm at min(NumCPU, nodes) shards (forced to
 	// at least 2 so the windowed path is always exercised, even on a
 	// single-CPU host — the speedup is then < 1 and flagged below).
@@ -416,10 +445,14 @@ func Bench(scale Scale) (*BenchResult, error) {
 		shards = 2
 	}
 	res.KernelSharded, res.KernelOptimistic = KernelStormOptimistic(ringNodes, ringPackets, shards)
+	markRSS("kernel_sharded")
 	res.KernelObserved, _ = KernelStormObserved(warmup, packets)
 	if res.Kernel.NsPerEvent > 0 {
 		res.ObsOverheadPct = 100 * (res.KernelObserved.NsPerEvent/res.Kernel.NsPerEvent - 1)
 	}
+	markRSS("kernel_observed")
+	res.KernelScale = KernelScale(scale.Quick)
+	markRSS("kernel_scale")
 	if res.GOMAXPROCS == 1 {
 		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par and seq-vs-sharded speedups do not measure parallelism"
 	}
@@ -450,6 +483,11 @@ func Bench(scale Scale) (*BenchResult, error) {
 				res.Experiments[i].ParMs = ms
 				res.ParMsTotal += ms
 			}
+		}
+		if pass == 0 {
+			markRSS("suite_seq")
+		} else {
+			markRSS("suite_par")
 		}
 	}
 	if res.ParMsTotal > 0 {
@@ -487,6 +525,27 @@ func (r *BenchResult) Table() *Table {
 				r.KernelOptimistic.Speedup, r.KernelOptimistic.SpeedupVsConservative),
 		},
 	}
+	if n := len(r.KernelScale.Points); n > 0 {
+		first, last := r.KernelScale.Points[0], r.KernelScale.Points[n-1]
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"scale sweep: %.0f ns/event at N=%d vs %.0f at N=%d (ratio %.2f, budget %.1f), %.0f B/node touched, %.1f B/node idle",
+			first.NsPerEvent, first.Nodes, last.NsPerEvent, last.Nodes,
+			r.KernelScale.NsPerEventRatio, r.KernelScale.NsPerEventRatioMax,
+			last.BytesPerNode, r.KernelScale.IdleBytesPerNode))
+		if !r.KernelScale.ScaleValid {
+			t.Notes = append(t.Notes, "scale sweep below wall-clock floor on this host (scale_valid=false): ratio is not a kernel-cost measurement")
+		}
+	}
+	gcNote := fmt.Sprintf("GC config: GOGC=%d GOMEMLIMIT=", r.GOGC)
+	if r.GOMEMLIMIT == math.MaxInt64 {
+		gcNote += "off"
+	} else {
+		gcNote += fmt.Sprintf("%d", r.GOMEMLIMIT)
+	}
+	if n := len(r.RSS); n > 0 {
+		gcNote += fmt.Sprintf("; peak RSS %.1f MiB after %s", float64(r.RSS[n-1].PeakRSSBytes)/(1<<20), r.RSS[n-1].Pass)
+	}
+	t.Notes = append(t.Notes, gcNote)
 	if !r.KernelSharded.SpeedupValid {
 		t.Notes = append(t.Notes,
 			"sharded/optimistic speedups are not parallelism measurements on this host (speedup_valid=false)")

@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package exp
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes returns the process's peak resident set size in bytes, or
+// 0 when the platform cannot report it. The kernel reports a high-water
+// mark, so successive calls are monotone; per-pass readings in the bench
+// report show which pass pushed the peak.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// ru_maxrss is kilobytes on Linux, bytes on Darwin.
+	if runtime.GOOS == "darwin" {
+		return int64(ru.Maxrss)
+	}
+	return int64(ru.Maxrss) * 1024
+}

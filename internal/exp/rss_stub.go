@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package exp
+
+// peakRSSBytes is unavailable on this platform; the bench report carries
+// zeros rather than guessing.
+func peakRSSBytes() int64 { return 0 }

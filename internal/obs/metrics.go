@@ -12,8 +12,14 @@ import (
 // gauges and fixed-bucket virtual-time histograms, each holding one value
 // (or bucket vector) per node. Instruments are registered once, up front;
 // updating one is an array store with no locking (the simulation is
-// single-threaded) and no allocation, so instruments may be updated from
-// hot paths.
+// single-threaded) and, after the first update, no allocation, so
+// instruments may be updated from hot paths.
+//
+// Instrument storage is lazy: registration records only the name, and
+// the per-node arrays allocate on first update (histograms allocate
+// per-node bucket vectors on each node's first sample). A registry over
+// a 100k-node machine whose run never updates an instrument therefore
+// costs nothing per node — the O(active) rule the machine model follows.
 type Registry struct {
 	nodes    int
 	counters []*Counter
@@ -29,25 +35,38 @@ func (r *Registry) Nodes() int { return r.nodes }
 
 // Counter is a per-node monotonic event count.
 type Counter struct {
-	name string
-	vals []uint64
+	name  string
+	nodes int
+	vals  []uint64 // allocated on first update
 }
 
 // NewCounter registers a counter. Call before the simulation starts.
 func (r *Registry) NewCounter(name string) *Counter {
-	c := &Counter{name: name, vals: make([]uint64, r.nodes)}
+	c := &Counter{name: name, nodes: r.nodes}
 	r.counters = append(r.counters, c)
 	return c
 }
 
+func (c *Counter) touch() []uint64 {
+	if c.vals == nil {
+		c.vals = make([]uint64, c.nodes)
+	}
+	return c.vals
+}
+
 // Inc adds one to node's count.
-func (c *Counter) Inc(node int) { c.vals[node]++ }
+func (c *Counter) Inc(node int) { c.touch()[node]++ }
 
 // Add adds delta to node's count.
-func (c *Counter) Add(node int, delta uint64) { c.vals[node] += delta }
+func (c *Counter) Add(node int, delta uint64) { c.touch()[node] += delta }
 
 // Value returns node's count.
-func (c *Counter) Value(node int) uint64 { return c.vals[node] }
+func (c *Counter) Value(node int) uint64 {
+	if c.vals == nil {
+		return 0
+	}
+	return c.vals[node]
+}
 
 // Total sums the counter across nodes.
 func (c *Counter) Total() uint64 {
@@ -72,20 +91,25 @@ func (r *Registry) CounterTotal(name string) uint64 {
 // Gauge is a per-node instantaneous value (queue depths, outstanding
 // calls). It additionally tracks the high-water mark per node.
 type Gauge struct {
-	name string
-	vals []int64
-	max  []int64
+	name  string
+	nodes int
+	vals  []int64 // allocated (with max) on first update
+	max   []int64
 }
 
 // NewGauge registers a gauge. Call before the simulation starts.
 func (r *Registry) NewGauge(name string) *Gauge {
-	g := &Gauge{name: name, vals: make([]int64, r.nodes), max: make([]int64, r.nodes)}
+	g := &Gauge{name: name, nodes: r.nodes}
 	r.gauges = append(r.gauges, g)
 	return g
 }
 
 // Set records node's current value.
 func (g *Gauge) Set(node int, v int64) {
+	if g.vals == nil {
+		g.vals = make([]int64, g.nodes)
+		g.max = make([]int64, g.nodes)
+	}
 	g.vals[node] = v
 	if v > g.max[node] {
 		g.max[node] = v
@@ -93,19 +117,30 @@ func (g *Gauge) Set(node int, v int64) {
 }
 
 // Value returns node's current value.
-func (g *Gauge) Value(node int) int64 { return g.vals[node] }
+func (g *Gauge) Value(node int) int64 {
+	if g.vals == nil {
+		return 0
+	}
+	return g.vals[node]
+}
 
 // Max returns node's high-water mark.
-func (g *Gauge) Max(node int) int64 { return g.max[node] }
+func (g *Gauge) Max(node int) int64 {
+	if g.max == nil {
+		return 0
+	}
+	return g.max[node]
+}
 
 // Histogram is a per-node fixed-bucket histogram of virtual durations.
 // Bounds are upper bucket edges; a final implicit +Inf bucket catches the
-// rest. Observing is two array stores — no allocation, usable on hot
-// paths.
+// rest. After a node's first sample, observing is two array stores — no
+// allocation, usable on hot paths.
 type Histogram struct {
 	name   string
+	nodes  int
 	bounds []sim.Duration
-	counts [][]uint64 // [node][bucket], len(bounds)+1 buckets
+	counts [][]uint64 // [node][bucket], len(bounds)+1 buckets; rows lazy
 	sums   []sim.Duration
 	ns     []uint64
 }
@@ -118,36 +153,47 @@ func (r *Registry) NewHistogram(name string, bounds ...sim.Duration) *Histogram 
 			panic(fmt.Sprintf("obs: histogram %q bounds not ascending", name))
 		}
 	}
-	h := &Histogram{
-		name:   name,
-		bounds: bounds,
-		counts: make([][]uint64, r.nodes),
-		sums:   make([]sim.Duration, r.nodes),
-		ns:     make([]uint64, r.nodes),
-	}
-	for i := range h.counts {
-		h.counts[i] = make([]uint64, len(bounds)+1)
-	}
+	h := &Histogram{name: name, nodes: r.nodes, bounds: bounds}
 	r.hists = append(r.hists, h)
 	return h
 }
 
 // Observe records one duration sample on node.
 func (h *Histogram) Observe(node int, d sim.Duration) {
+	if h.counts == nil {
+		h.counts = make([][]uint64, h.nodes)
+		h.sums = make([]sim.Duration, h.nodes)
+		h.ns = make([]uint64, h.nodes)
+	}
+	row := h.counts[node]
+	if row == nil {
+		row = make([]uint64, len(h.bounds)+1)
+		h.counts[node] = row
+	}
 	b := 0
 	for b < len(h.bounds) && d > h.bounds[b] {
 		b++
 	}
-	h.counts[node][b]++
+	row[b]++
 	h.sums[node] += d
 	h.ns[node]++
 }
 
 // Count returns the number of samples observed on node.
-func (h *Histogram) Count(node int) uint64 { return h.ns[node] }
+func (h *Histogram) Count(node int) uint64 {
+	if h.ns == nil {
+		return 0
+	}
+	return h.ns[node]
+}
 
 // Sum returns the total observed duration on node.
-func (h *Histogram) Sum(node int) sim.Duration { return h.sums[node] }
+func (h *Histogram) Sum(node int) sim.Duration {
+	if h.sums == nil {
+		return 0
+	}
+	return h.sums[node]
+}
 
 // Write renders every instrument as aligned text, instruments sorted by
 // name and one row per node, so output is deterministic. It returns the

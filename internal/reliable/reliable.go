@@ -96,7 +96,7 @@ type pendingMsg struct {
 	bulk     bool
 	attempts int // transmissions so far
 	backoff  sim.Duration
-	timer    *sim.Timer
+	timer    sim.Timer
 	done     bool
 }
 
@@ -258,7 +258,7 @@ func (t *Transport) TrySend(c threads.Ctx, ep *am.Endpoint, dst int, h am.Handle
 // node's daemon.
 func (t *Transport) arm(ns *nodeState, pm *pendingMsg, d sim.Duration) {
 	pm.timer = ns.sh.AfterTimer(d, func() {
-		pm.timer = nil
+		pm.timer = sim.Timer{}
 		if pm.done {
 			return
 		}
@@ -383,10 +383,8 @@ func (t *Transport) handleAck(c threads.Ctx, pkt *cm5.Packet) {
 	retired := false
 	retire := func(pm *pendingMsg, q uint64) {
 		pm.done = true
-		if pm.timer != nil {
-			pm.timer.Cancel()
-			pm.timer = nil
-		}
+		pm.timer.Cancel() // no-op on the zero Timer
+		pm.timer = sim.Timer{}
 		delete(ol.pending, q)
 		retired = true
 	}

@@ -9,11 +9,14 @@ import (
 	"time"
 )
 
-// heapSizeHint pre-sizes the event heap so steady-state simulations never
-// grow it; eventChunk is the slab size of the event free list.
+// defaultEventHint is the expected pending-event population a shard's
+// calendar queue is sized for when nothing better is known; layers that
+// know their node count plumb a real hint through ShardConfig.EventHint
+// or Engine.HintEvents instead (the cm5 machine does). eventChunk is the
+// slab size of the event free list.
 const (
-	heapSizeHint = 1 << 10
-	eventChunk   = 256
+	defaultEventHint = 1 << 10
+	eventChunk       = 256
 )
 
 // maxTime is the deadline used by Run: no event timestamp can exceed it.
@@ -153,7 +156,23 @@ func NewShardedConfig(seed int64, cfg ShardConfig) *Engine {
 		e.maxDrift = cfg.MaxDrift
 		e.opt = newOptState(e)
 	}
+	if cfg.EventHint > 0 {
+		e.HintEvents(cfg.EventHint)
+	}
 	return e
+}
+
+// HintEvents re-sizes every shard's event queue for roughly total
+// pending events machine-wide (split evenly across shards). It only
+// matters before events are scheduled; afterwards the queues size
+// themselves adaptively. The machine layer calls it with a node-derived
+// hint so big-N runs don't regrow their queues from scratch and small
+// runs don't over-allocate.
+func (e *Engine) HintEvents(total int) {
+	per := total/len(e.shards) + 1
+	for _, sh := range e.shards {
+		sh.heap.hint(per)
+	}
 }
 
 // Mode reports the engine's shard mode (Conservative for sequential and
@@ -313,10 +332,10 @@ func (e *Engine) AtAction(t Time, a Action) { e.shards[0].AtAction(t, a) }
 func (e *Engine) AfterAction(d Duration, a Action) { e.shards[0].AfterAction(d, a) }
 
 // AtTimer is At returning a cancellable handle.
-func (e *Engine) AtTimer(t Time, fn func()) *Timer { return e.shards[0].AtTimer(t, fn) }
+func (e *Engine) AtTimer(t Time, fn func()) Timer { return e.shards[0].AtTimer(t, fn) }
 
 // AfterTimer is After returning a cancellable handle.
-func (e *Engine) AfterTimer(d Duration, fn func()) *Timer { return e.shards[0].AfterTimer(d, fn) }
+func (e *Engine) AfterTimer(d Duration, fn func()) Timer { return e.shards[0].AfterTimer(d, fn) }
 
 // Spawn creates a process on shard 0; see Shard.Spawn.
 func (e *Engine) Spawn(name string, body func(p *Proc)) *Proc {
@@ -367,17 +386,27 @@ func (e *Engine) AtGlobal(t Time, key uint64, fn func()) {
 // unrelated event) simply fails to cancel.
 type Timer struct {
 	ev  *event
+	sh  *Shard
 	gen uint64
 }
 
 // Cancel prevents the timer's callback from running and reports whether
 // it did (false when the callback already ran or was already cancelled).
+// Like all kernel calls, Cancel must run in the owning shard's execution
+// context (cross-shard cancels travel as deliveries — see the timer
+// cancel race test). When the event is still pending it is unlinked from
+// the calendar queue and recycled on the spot rather than left as a
+// tombstone, so heavily-cancelled workloads keep the queue at its live
+// population.
 func (t *Timer) Cancel() bool {
 	ev := t.ev
 	if ev == nil || ev.gen != t.gen || ev.cancelled {
 		return false
 	}
 	ev.cancelled = true
+	if t.sh != nil && t.sh.heap.remove(ev) {
+		t.sh.release(ev)
+	}
 	t.ev = nil
 	return true
 }
@@ -577,7 +606,7 @@ func (e *Engine) runSharded(deadline Time) {
 		}
 		work := false
 		for _, sh := range e.shards {
-			if sh.heap.len() > 0 && sh.heap.ev[0].at <= last {
+			if sh.heap.len() > 0 && sh.heap.first().at <= last {
 				work = true
 				break
 			}
@@ -607,8 +636,8 @@ func (e *Engine) nextTime() (Time, bool) {
 	best := maxTime
 	ok := false
 	for _, sh := range e.shards {
-		if sh.heap.len() > 0 && sh.heap.ev[0].at <= best {
-			best = sh.heap.ev[0].at
+		if sh.heap.len() > 0 && sh.heap.first().at <= best {
+			best = sh.heap.first().at
 			ok = true
 		}
 	}

@@ -33,37 +33,37 @@ const (
 // event is a scheduled kernel action. Events fire in (at, class, key, seq)
 // order: timestamp, canonical class, canonical class key, then scheduling
 // order — which makes runs deterministic and shard-count-independent.
-// Cancelled events stay in the heap and are dropped when they surface.
+// Cancelled events are unlinked immediately when the cancelling Timer
+// can reach the owning shard, and otherwise stay in the queue as
+// tombstones dropped when they surface.
 //
 // Events are pooled: after firing (or surfacing cancelled) they return to
 // the shard's free list and gen is bumped, which invalidates any Timer
 // still holding the pointer.
+// Field order is deliberate: the comparator fields (at, class, key, seq)
+// and the list link share the first cache line, so calendar-queue walks
+// and compares touch one line per event.
 type event struct {
 	at        Time
+	next      *event // calendar-bucket link / free-list link
 	key       uint64 // canonical order within a class (0 for classNormal)
 	seq       uint64
+	kind      eventKind
+	class     uint8
+	cancelled bool
 	gen       uint64 // recycle generation; Timers capture it to stay valid
 	fn        func()
 	act       Action
 	proc      *Proc
-	next      *event // free-list link
-	kind      eventKind
-	class     uint8
-	cancelled bool
 }
 
-// eventHeap is a binary min-heap ordered by (at, class, key, seq). It is
-// hand-rolled rather than using container/heap to avoid the interface
-// indirection on the simulation hot path. Entries are pointers so that a
-// scheduled event can be cancelled in place (interrupt support).
-type eventHeap struct {
-	ev []*event
-}
-
-func (h *eventHeap) len() int { return len(h.ev) }
-
-func (h *eventHeap) less(i, j int) bool {
-	a, b := h.ev[i], h.ev[j]
+// eventLess is the canonical total order on events — (at, class, key,
+// seq) — shared by the per-bucket heaps of the calendar queue (see
+// calqueue.go) and the reference binary heap below. Any priority queue
+// implementing exactly this order yields the same pop sequence, which is
+// the invariant that lets the queue implementation change under the
+// golden equivalence hashes.
+func eventLess(a, b *event) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
@@ -75,6 +75,20 @@ func (h *eventHeap) less(i, j int) bool {
 	}
 	return a.seq < b.seq
 }
+
+// eventHeap is a binary min-heap ordered by eventLess. It is hand-rolled
+// rather than using container/heap to avoid the interface indirection on
+// the simulation hot path. Entries are pointers so that a scheduled
+// event can be cancelled in place (interrupt support). The calendar
+// queue uses one of these per bucket; it also survives standalone as the
+// reference ordering for the queue-equivalence property tests.
+type eventHeap struct {
+	ev []*event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool { return eventLess(h.ev[i], h.ev[j]) }
 
 func (h *eventHeap) push(e *event) {
 	h.ev = append(h.ev, e)

@@ -44,6 +44,10 @@ type ShardConfig struct {
 	// span end is then the only drift bound). Values below the lookahead
 	// are clamped up to it.
 	MaxDrift Duration
+	// EventHint is the expected machine-wide pending-event population,
+	// used to pre-size the per-shard calendar queues (0 = default). See
+	// Engine.HintEvents.
+	EventHint int
 }
 
 // ArrivalHook materializes an eagerly published cross-shard arrival
@@ -238,7 +242,7 @@ func (o *optState) gate(sh *Shard) bool {
 			sh.drainInbox(o)
 		}
 		if sh.heap.len() > 0 {
-			nextT := sh.heap.ev[0].at
+			nextT := sh.heap.first().at
 			if nextT <= Time(o.spanEnd.Load()) {
 				if nextT < sh.cachedH {
 					o.clocks[sh.idx].Store(int64(nextT))
@@ -287,7 +291,7 @@ func (o *optState) block(sh *Shard) bool {
 		}
 		nextT := maxTime
 		if sh.heap.len() > 0 {
-			nextT = sh.heap.ev[0].at
+			nextT = sh.heap.first().at
 		}
 		end := Time(o.spanEnd.Load())
 		if nextT <= end {
@@ -364,7 +368,7 @@ func (o *optState) advanceClaims(self int) bool {
 		}
 		nextT := maxTime
 		if sh.heap.len() > 0 {
-			nextT = sh.heap.ev[0].at
+			nextT = sh.heap.first().at
 		}
 		if o.raiseClaim(j, nextT) {
 			progress = true
@@ -398,8 +402,8 @@ func (o *optState) resolve() bool {
 	}
 	lbts := maxTime
 	for _, sh := range shards {
-		if sh.heap.len() > 0 && sh.heap.ev[0].at < lbts {
-			lbts = sh.heap.ev[0].at
+		if sh.heap.len() > 0 && sh.heap.first().at < lbts {
+			lbts = sh.heap.first().at
 		}
 	}
 	if lbts > Time(o.spanEnd.Load()) {
@@ -414,7 +418,7 @@ func (o *optState) resolve() bool {
 	for j, sh := range shards {
 		nt := maxTime
 		if sh.heap.len() > 0 {
-			nt = sh.heap.ev[0].at
+			nt = sh.heap.first().at
 		}
 		want := lbts.Add(o.la)
 		if nt < want {
@@ -607,7 +611,7 @@ func (e *Engine) runOptimistic(deadline Time) {
 		}
 		work := false
 		for _, sh := range e.shards {
-			if sh.heap.len() > 0 && sh.heap.ev[0].at <= last {
+			if sh.heap.len() > 0 && sh.heap.first().at <= last {
 				work = true
 				break
 			}

@@ -357,7 +357,7 @@ func TestOptimisticTimerCancelRace(t *testing.T) {
 			tn.hash[1] = toyMix(tn.hash[1] ^ tag ^ uint64(sh1.Now()))
 		}
 		cancelAt := func(armAt, fireAt, sendAt Time, tag uint64) {
-			var tm *Timer
+			var tm Timer
 			sh1.At(armAt, func() {
 				tm = sh1.AtTimer(fireAt, func() { stamp(tag ^ 0xF17E) })
 			})

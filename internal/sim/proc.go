@@ -209,7 +209,7 @@ func (p *Proc) ChargeInterruptible(d Duration) Duration {
 	p.intStart = sh.now
 	p.interrupted = false
 	ev := sh.schedule(sh.now.Add(d), classNormal, 0, evIntProc, nil, nil, p)
-	p.intTimer = Timer{ev: ev, gen: ev.gen}
+	p.intTimer = Timer{ev: ev, sh: sh, gen: ev.gen}
 	sh.yieldToKernel(p)
 	consumed := Duration(sh.now - p.intStart)
 	sh.chargedTotal += consumed

@@ -24,7 +24,7 @@ type Shard struct {
 
 	now     Time
 	seq     uint64
-	heap    eventHeap
+	heap    eventQueue
 	free    *event // recycled events (shard-local: no locking)
 	running *Proc
 	// doneCh hands the kernel role back to the goroutine blocked in
@@ -91,12 +91,13 @@ type Shard struct {
 }
 
 func newShard(e *Engine, idx int) *Shard {
-	return &Shard{
+	sh := &Shard{
 		eng:    e,
 		idx:    idx,
 		doneCh: make(chan struct{}),
-		heap:   eventHeap{ev: make([]*event, 0, heapSizeHint)},
 	}
+	sh.heap.init(defaultEventHint)
+	return sh
 }
 
 // Engine returns the engine this shard belongs to.
@@ -190,14 +191,16 @@ func (sh *Shard) AtDelivery(t Time, key uint64, a Action) {
 // atProc schedules the resumption of p at time t without any closure.
 func (sh *Shard) atProc(t Time, p *Proc) { sh.schedule(t, classNormal, 0, evProc, nil, nil, p) }
 
-// AtTimer is At returning a cancellable handle.
-func (sh *Shard) AtTimer(t Time, fn func()) *Timer {
+// AtTimer is At returning a cancellable handle. Timers are plain values
+// (the cancellation state lives in the event, guarded by its recycle
+// generation), so arming a timer costs no allocation.
+func (sh *Shard) AtTimer(t Time, fn func()) Timer {
 	ev := sh.schedule(t, classNormal, 0, evFunc, fn, nil, nil)
-	return &Timer{ev: ev, gen: ev.gen}
+	return Timer{ev: ev, sh: sh, gen: ev.gen}
 }
 
 // AfterTimer is After returning a cancellable handle.
-func (sh *Shard) AfterTimer(d Duration, fn func()) *Timer {
+func (sh *Shard) AfterTimer(d Duration, fn func()) Timer {
 	return sh.AtTimer(sh.now.Add(d), fn)
 }
 
@@ -269,7 +272,7 @@ func (sh *Shard) loop(self *Proc) loopOutcome {
 			if sh.stopped || sh.failure != nil || sh.kernelPanic != nil || sh.heap.len() == 0 {
 				return loopEnded
 			}
-			if sh.heap.ev[0].at > sh.deadline {
+			if sh.heap.first().at > sh.deadline {
 				return loopEnded
 			}
 		}
@@ -407,7 +410,7 @@ func (sh *Shard) checkRunning(p *Proc, op string) {
 // drains its worker pool. Part of Engine.Shutdown.
 func (sh *Shard) shutdown() {
 	sh.killing = true
-	sh.heap.ev = nil
+	sh.heap.clear()
 	sh.free = nil
 	// Snapshot: killing procs mutates sh.procs.
 	victims := make([]*Proc, len(sh.procs))
