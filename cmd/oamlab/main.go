@@ -3,10 +3,8 @@
 //
 //	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-optimistic] [-cpuprofile F] [-memprofile F] <experiment>...
 //
-// Experiments: table1, bulk, abortcost, fig1, fig2, table2, fig3, fig4,
-// table3, ablation, schedpolicy, budget, buffering, chaos, sched,
-// micro (table1+bulk+abortcost), bench (host-performance report),
-// all (everything).
+// Run `oamlab -help` for the experiment list; it is generated from the
+// same command table that drives dispatch, so it cannot go stale.
 //
 // sched runs the cluster-scheduler control plane (internal/apps/sched)
 // over a fault-mix x lease-timeout x heartbeat-period grid and
@@ -14,19 +12,24 @@
 // safety and liveness invariants (placed-exactly-once, monotonic lease
 // epochs, no placement on dead agents, all jobs completed).
 //
+// kv runs the sharded key-value/lock service (internal/apps/kv) under
+// open-loop load through the saturation knee, comparing AM, ORPC and
+// TRPC goodput and SLO latency, and replay-checks every cell's lease
+// record and per-client arrival ledger.
+//
 // Observability subcommands (see internal/obs):
 //
 //	oamlab [-quick] trace <app> [-p N] [-sys am|orpc|trpc] [-o file]
 //	oamlab [-quick] metrics <app> [-p N] [-sys am|orpc|trpc] [-top N]
 //
-// trace records one application run (triangle, tsp, sor, water) and
-// writes a Chrome trace-event JSON timeline — load it in Perfetto
-// (https://ui.perfetto.dev) — with one process per node and tracks for
-// cpu burns, handler runs, optimistic dispatches/aborts, RPC calls,
-// packet flights and thread lifetimes. metrics prints the per-node
-// counter/gauge/histogram registry and a virtual-time profile of the
-// same run. Both are deterministic: the same seed yields byte-identical
-// output.
+// trace records one application run (triangle, tsp, sor, water, sched,
+// kv) and writes a Chrome trace-event JSON timeline — load it in
+// Perfetto (https://ui.perfetto.dev) — with one process per node and
+// tracks for cpu burns, handler runs, optimistic dispatches/aborts, RPC
+// calls, packet flights and thread lifetimes. metrics prints the
+// per-node counter/gauge/histogram registry and a virtual-time profile
+// of the same run. Both are deterministic: the same seed yields
+// byte-identical output.
 //
 // -quick shrinks the problem sizes so the suite runs in seconds; the
 // default runs the paper's sizes (the Triangle figure alone simulates
@@ -66,13 +69,144 @@ import (
 	"repro/internal/obs"
 )
 
-// subcommands lists everything the command line accepts, for the
-// unknown-name diagnostic.
-var subcommands = []string{
-	"table1", "bulk", "abortcost", "fig1", "fig2", "table2", "fig3", "fig4",
-	"table3", "ablation", "appablation", "schedpolicy", "budget", "buffering",
-	"interrupts", "sorsizes", "chaos", "sched", "bench", "micro", "all",
-	"trace", "metrics",
+// runCtx is what one experiment's runner gets: the scale and output
+// plumbing of this invocation.
+type runCtx struct {
+	scale    exp.Scale
+	benchout string
+	stderr   io.Writer
+	emit     func(*exp.Table, error)
+	svg      func(base, title string, rows []exp.FigRow)
+	fail     func(format string, args ...any)
+	failed   func() bool
+}
+
+// command is one row of the subcommand table. The table is the single
+// source of truth: dispatch, the "all" and "micro" groups, the
+// unknown-name diagnostic and the -help listing are all generated from
+// it, so registering an experiment is one entry here.
+type command struct {
+	name  string
+	about string
+	all   bool // member of the "all" group
+	micro bool // member of the "micro" group
+	run   func(*runCtx)
+}
+
+var commands = []command{
+	{"table1", "Table 1: primitive operation costs", true, true,
+		func(rc *runCtx) { rc.emit(exp.Table1Table(), nil) }},
+	{"bulk", "bulk-transfer costs", true, true,
+		func(rc *runCtx) { rc.emit(exp.BulkTable(), nil) }},
+	{"abortcost", "abort and undo-log costs", true, true,
+		func(rc *runCtx) { rc.emit(exp.AbortCostTable(), nil) }},
+	{"fig1", "Figure 1: Triangle puzzle speedup", true, false,
+		func(rc *runCtx) {
+			t, rows, err := exp.Fig1Triangle(rc.scale)
+			rc.emit(t, err)
+			rc.svg("fig1", "Figure 1: Triangle puzzle", rows)
+		}},
+	{"fig2", "Figure 2: TSP speedup", true, false,
+		func(rc *runCtx) {
+			t, rows, err := exp.Fig2TSP(rc.scale)
+			rc.emit(t, err)
+			rc.svg("fig2", "Figure 2: TSP", rows)
+		}},
+	{"table2", "Table 2: OAM success rates", true, false,
+		func(rc *runCtx) { rc.emit(exp.Table2(rc.scale)) }},
+	{"fig3", "Figure 3: SOR speedup", true, false,
+		func(rc *runCtx) {
+			t, rows, err := exp.Fig3SOR(rc.scale)
+			rc.emit(t, err)
+			rc.svg("fig3", "Figure 3: SOR", rows)
+		}},
+	{"fig4", "Figure 4: Water speedup", true, false,
+		func(rc *runCtx) {
+			t, rows, err := exp.Fig4Water(rc.scale)
+			rc.emit(t, err)
+			rc.svg("fig4", "Figure 4: Water (per iteration)", rows)
+		}},
+	{"table3", "Table 3: application OAM statistics", true, false,
+		func(rc *runCtx) { rc.emit(exp.Table3(rc.scale)) }},
+	{"ablation", "scheduling-strategy ablation", true, false,
+		func(rc *runCtx) { rc.emit(exp.AblationTable(), nil) }},
+	{"appablation", "per-application strategy ablation", true, false,
+		func(rc *runCtx) { rc.emit(exp.AppAblationTable(rc.scale.Quick)) }},
+	{"schedpolicy", "promoted-thread scheduling policies", true, false,
+		func(rc *runCtx) { rc.emit(exp.SchedPolicyTable(), nil) }},
+	{"budget", "handler-budget sweep", true, false,
+		func(rc *runCtx) { rc.emit(exp.BudgetTable(), nil) }},
+	{"buffering", "message-buffering strategies", true, false,
+		func(rc *runCtx) { rc.emit(exp.BufferingTable(), nil) }},
+	{"interrupts", "interrupt- vs polling-driven delivery", true, false,
+		func(rc *runCtx) { rc.emit(exp.InterruptsTable(), nil) }},
+	{"sorsizes", "SOR problem-size sweep", true, false,
+		func(rc *runCtx) { rc.emit(exp.SORSizesTable(rc.scale.Quick)) }},
+	{"chaos", "fault-injection sweep with per-node recovery counters", true, false,
+		func(rc *runCtx) {
+			rc.emit(exp.ChaosTable(rc.scale))
+			rc.emit(exp.ChaosNodeTable(rc.scale))
+		}},
+	{"sched", "cluster-scheduler control plane under chaos", true, false,
+		func(rc *runCtx) { rc.emit(exp.SchedTable(rc.scale)) }},
+	{"kv", "sharded key-value service under open-loop load", true, false,
+		func(rc *runCtx) { rc.emit(exp.KVTable(rc.scale)) }},
+	{"bench", "host-performance report (writes -benchout JSON)", false, false,
+		func(rc *runCtx) {
+			res, err := exp.Bench(rc.scale)
+			if err != nil {
+				rc.emit(nil, err)
+				return
+			}
+			rc.emit(res.Table(), nil)
+			if res.Warning != "" {
+				fmt.Fprintf(rc.stderr, "oamlab: warning: %s\n", res.Warning)
+			}
+			if !rc.failed() && rc.benchout != "" {
+				if err := res.WriteJSON(rc.benchout); err != nil {
+					rc.fail("bench: %v", err)
+					return
+				}
+				fmt.Fprintf(rc.stderr, "[bench report written to %s]\n", rc.benchout)
+			}
+		}},
+	{"micro", "group: every microbenchmark table", false, false, nil},
+	{"all", "group: every experiment", false, false, nil},
+	{"trace", "record one observed app run as a Chrome trace", false, false, nil},
+	{"metrics", "print one observed app run's metrics and profile", false, false, nil},
+}
+
+// subcommands lists every name the command line accepts, generated from
+// the command table for the unknown-name diagnostic.
+var subcommands = func() []string {
+	names := make([]string, len(commands))
+	for i, c := range commands {
+		names[i] = c.name
+	}
+	return names
+}()
+
+// findCommand resolves a subcommand name against the table.
+func findCommand(name string) *command {
+	for i := range commands {
+		if commands[i].name == name {
+			return &commands[i]
+		}
+	}
+	return nil
+}
+
+// group expands a group name ("all", "micro") into its member commands,
+// in table order; nil for non-group names.
+func group(name string) []*command {
+	var out []*command
+	for i := range commands {
+		c := &commands[i]
+		if (name == "all" && c.all) || (name == "micro" && c.micro) {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -92,6 +226,14 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: oamlab [flags] <experiment>...\n\nexperiments:\n")
+		for _, c := range commands {
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.name, c.about)
+		}
+		fmt.Fprintf(stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -131,7 +273,6 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		exp.Shards = *shards
 	}
 	exp.Optimistic = *optimistic
-	scale := exp.Scale{Quick: *quick, MaxP: *maxp}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"all"}
@@ -144,13 +285,24 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	code := 0
-	emit := func(t *exp.Table, err error) {
+	rc := &runCtx{
+		scale:    exp.Scale{Quick: *quick, MaxP: *maxp},
+		benchout: *benchout,
+		stderr:   stderr,
+		failed:   func() bool { return code != 0 },
+	}
+	rc.fail = func(format string, args ...any) {
+		if code == 0 {
+			fmt.Fprintf(stderr, "oamlab: "+format+"\n", args...)
+			code = 1
+		}
+	}
+	rc.emit = func(t *exp.Table, err error) {
 		if code != 0 {
 			return
 		}
 		if err != nil {
-			fmt.Fprintf(stderr, "oamlab: %v\n", err)
-			code = 1
+			rc.fail("%v", err)
 			return
 		}
 		if *csv {
@@ -160,117 +312,44 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 			t.Print(stdout)
 		}
 	}
-
-	svg := func(base, title string, rows []exp.FigRow) {
+	rc.svg = func(base, title string, rows []exp.FigRow) {
 		if *svgdir == "" || rows == nil || code != 0 {
 			return
 		}
 		if err := exp.WriteFigSVGs(*svgdir, base, title, rows); err != nil {
-			fmt.Fprintf(stderr, "oamlab: svg: %v\n", err)
-			code = 1
+			rc.fail("svg: %v", err)
 			return
 		}
 		fmt.Fprintf(stderr, "[%s SVGs written to %s]\n", base, *svgdir)
 	}
 
-	run := func(name string) {
+	run := func(c *command) {
 		if code != 0 {
 			return
 		}
 		start := time.Now()
-		switch name {
-		case "table1":
-			emit(exp.Table1Table(), nil)
-		case "bulk":
-			emit(exp.BulkTable(), nil)
-		case "abortcost":
-			emit(exp.AbortCostTable(), nil)
-		case "fig1":
-			t, rows, err := exp.Fig1Triangle(scale)
-			emit(t, err)
-			svg("fig1", "Figure 1: Triangle puzzle", rows)
-		case "fig2":
-			t, rows, err := exp.Fig2TSP(scale)
-			emit(t, err)
-			svg("fig2", "Figure 2: TSP", rows)
-		case "table2":
-			emit(exp.Table2(scale))
-		case "fig3":
-			t, rows, err := exp.Fig3SOR(scale)
-			emit(t, err)
-			svg("fig3", "Figure 3: SOR", rows)
-		case "fig4":
-			t, rows, err := exp.Fig4Water(scale)
-			emit(t, err)
-			svg("fig4", "Figure 4: Water (per iteration)", rows)
-		case "table3":
-			emit(exp.Table3(scale))
-		case "ablation":
-			emit(exp.AblationTable(), nil)
-		case "schedpolicy":
-			emit(exp.SchedPolicyTable(), nil)
-		case "budget":
-			emit(exp.BudgetTable(), nil)
-		case "buffering":
-			emit(exp.BufferingTable(), nil)
-		case "appablation":
-			emit(exp.AppAblationTable(scale.Quick))
-		case "interrupts":
-			emit(exp.InterruptsTable(), nil)
-		case "sorsizes":
-			emit(exp.SORSizesTable(scale.Quick))
-		case "bench":
-			res, err := exp.Bench(scale)
-			if err != nil {
-				emit(nil, err)
-				return
-			}
-			emit(res.Table(), nil)
-			if res.Warning != "" {
-				fmt.Fprintf(stderr, "oamlab: warning: %s\n", res.Warning)
-			}
-			if code == 0 && *benchout != "" {
-				if err := res.WriteJSON(*benchout); err != nil {
-					fmt.Fprintf(stderr, "oamlab: bench: %v\n", err)
-					code = 1
-					return
-				}
-				fmt.Fprintf(stderr, "[bench report written to %s]\n", *benchout)
-			}
-		case "chaos":
-			emit(exp.ChaosTable(scale))
-			emit(exp.ChaosNodeTable(scale))
-		case "sched":
-			emit(exp.SchedTable(scale))
-		default:
-			fmt.Fprintf(stderr, "oamlab: unknown experiment %q (subcommands: %s)\n",
-				name, strings.Join(subcommands, ", "))
-			code = 2
-			return
-		}
+		c.run(rc)
 		if code == 0 {
-			fmt.Fprintf(stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "[%s done in %v]\n", c.name, time.Since(start).Round(time.Millisecond))
 		}
 	}
 
 	for _, name := range names {
-		switch name {
-		case "trace", "metrics":
+		c := findCommand(name)
+		switch {
+		case c == nil:
+			fmt.Fprintf(stderr, "oamlab: unknown experiment %q (subcommands: %s)\n",
+				name, strings.Join(subcommands, ", "))
+			return 2
+		case name == "trace" || name == "metrics":
 			fmt.Fprintf(stderr, "oamlab: %s must be the first argument\n", name)
 			return 2
-		case "all":
-			for _, n := range []string{"table1", "bulk", "abortcost", "fig1", "fig2",
-				"table2", "fig3", "fig4", "table3", "ablation", "appablation",
-				"schedpolicy", "budget", "buffering", "interrupts", "sorsizes",
-				"chaos", "sched"} {
-				run(n)
-			}
-		case "micro":
-			for _, n := range []string{"table1", "bulk", "abortcost"} {
-				run(n)
+		case c.run == nil: // a group entry
+			for _, m := range group(name) {
+				run(m)
 			}
 		default:
-			run(name)
+			run(c)
 		}
 	}
 	return code

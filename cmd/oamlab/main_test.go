@@ -96,6 +96,80 @@ func TestUnknownListsSubcommands(t *testing.T) {
 	}
 }
 
+// TestSmokeKV runs the key-value service grid at quick scale and
+// golden-checks the table header and that every system shows up.
+func TestSmokeKV(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-quick", "kv"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"KV service under open-loop load", "steady", "lossy", "AM", "ORPC", "TRPC", "p999(us)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("kv output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(errb.String(), "[kv done in ") {
+		t.Errorf("missing completion line:\n%s", errb.String())
+	}
+}
+
+// TestCommandTable: the subcommand table is internally consistent —
+// groups are non-empty and expand to runnable members, every
+// non-group, non-observed entry has a runner, and names are unique.
+func TestCommandTable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range commands {
+		if seen[c.name] {
+			t.Errorf("duplicate subcommand %q", c.name)
+		}
+		seen[c.name] = true
+		if c.about == "" {
+			t.Errorf("subcommand %q has no description", c.name)
+		}
+		isGroup := c.name == "all" || c.name == "micro"
+		isObserved := c.name == "trace" || c.name == "metrics"
+		if (c.run == nil) != (isGroup || isObserved) {
+			t.Errorf("subcommand %q: runner/group mismatch", c.name)
+		}
+	}
+	for _, g := range []string{"all", "micro"} {
+		members := group(g)
+		if len(members) == 0 {
+			t.Fatalf("group %q is empty", g)
+		}
+		for _, m := range members {
+			if m.run == nil {
+				t.Errorf("group %q contains non-runnable %q", g, m.name)
+			}
+		}
+	}
+	for _, name := range []string{"kv", "sched"} {
+		c := findCommand(name)
+		if c == nil || c.run == nil {
+			t.Fatalf("subcommand %q not registered", name)
+		}
+		if !c.all {
+			t.Errorf("subcommand %q not in the all group", name)
+		}
+	}
+}
+
+// TestUsageListsSubcommands: -help usage is generated from the command
+// table, so it names every subcommand with its description.
+func TestUsageListsSubcommands(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := realMain([]string{"-help"}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	usage := errb.String()
+	for _, c := range commands {
+		if !strings.Contains(usage, c.name) || !strings.Contains(usage, c.about) {
+			t.Errorf("usage does not describe subcommand %q:\n%s", c.name, usage)
+		}
+	}
+}
+
 // TestSmokeTrace: the trace subcommand writes a valid Chrome trace-event
 // JSON file with events for every node.
 func TestSmokeTrace(t *testing.T) {

@@ -1,0 +1,126 @@
+package kv_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/kv"
+	"repro/internal/cm5"
+	"repro/internal/sim"
+)
+
+// TestShedExactWhilePartitioned overlaps the two failure modes the
+// accounting has to keep apart: a tiny admission budget sheds requests
+// while a mid-run partition cuts every client off from server 0, so the
+// same client can be backing off from a shed verdict on one request and
+// timing out behind the partition on another. The per-client identity —
+// every arrival classified exactly once — must hold through both.
+func TestShedExactWhilePartitioned(t *testing.T) {
+	cfg := kv.Config{
+		System:   apps.ORPC,
+		Seed:     23,
+		Clients:  16,
+		Duration: sim.Micros(10000),
+		RateX:    3,
+		Budget:   2,
+		Fault: &cm5.FaultPlan{
+			Seed: 9,
+			Partitions: []cm5.Partition{
+				{Src: -1, Dst: 0, From: sim.Time(sim.Micros(2000)), To: sim.Time(sim.Micros(6000))},
+				{Src: 0, Dst: -1, From: sim.Time(sim.Micros(2000)), To: sim.Time(sim.Micros(6000))},
+			},
+		},
+	}
+	_, st, err := kv.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.CheckInvariants(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Fault.PartitionDrops == 0 {
+		t.Fatal("the partition never dropped anything")
+	}
+	if st.TimeoutGiveUps == 0 {
+		t.Fatal("no client timed out behind the partition")
+	}
+	if st.Sheds == 0 {
+		t.Fatal("the admission budget never shed")
+	}
+	// The totals must also reconcile globally: nothing double-counted
+	// across the overlap of the two give-up modes.
+	if st.Arrivals != st.OK+st.Drops+st.ShedGiveUps+st.TimeoutGiveUps {
+		t.Fatalf("global accounting broken: %d arrivals vs %d+%d+%d+%d",
+			st.Arrivals, st.OK, st.Drops, st.ShedGiveUps, st.TimeoutGiveUps)
+	}
+}
+
+// TestRetryAfterFullQueue drives a one-slot admission budget far past
+// saturation: sheds must carry the retry-after hint (clients observably
+// wait on it), some clients must exhaust their shed retries, and yet the
+// service keeps real goodput and exact books through the whole epoch.
+func TestRetryAfterFullQueue(t *testing.T) {
+	cfg := kv.Config{
+		System:      apps.ORPC,
+		Seed:        31,
+		Clients:     24,
+		Duration:    sim.Micros(10000),
+		RateX:       4,
+		Budget:      1,
+		ShedRetries: 2,
+	}
+	_, st, err := kv.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.CheckInvariants(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sheds == 0 {
+		t.Fatal("a one-slot budget at 4x load never shed")
+	}
+	if st.ShedWaits == 0 {
+		t.Fatal("no client honored a retry-after hint")
+	}
+	if st.ShedGiveUps == 0 {
+		t.Fatal("no client exhausted its shed retries despite the full-queue epoch")
+	}
+	if st.OK == 0 {
+		t.Fatal("the service made no goodput at all under shedding")
+	}
+}
+
+// TestHotKeySkew: a Zipf-skewed key draw concentrates load on server 0
+// (which owns the hottest key), so that shard sheds and serves far more
+// than its siblings while the cold shards stay comfortable — admission
+// control is per-server, not global.
+func TestHotKeySkew(t *testing.T) {
+	cfg := kv.Config{
+		System:   apps.ORPC,
+		Seed:     41,
+		Clients:  24,
+		Keys:     64,
+		ZipfS:    1.4,
+		Duration: sim.Micros(10000),
+		RateX:    2,
+		Budget:   4,
+	}
+	_, st, err := kv.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.CheckInvariants(&st); err != nil {
+		t.Fatal(err)
+	}
+	hot := st.PerServer[0].Admitted + st.PerServer[0].Shed
+	for i := 1; i < len(st.PerServer); i++ {
+		cold := st.PerServer[i].Admitted + st.PerServer[i].Shed
+		if hot < cold*3/2 {
+			t.Fatalf("server 0 (%d requests) not hotter than server %d (%d requests)",
+				hot, i, cold)
+		}
+	}
+	if st.PerServer[0].Shed == 0 {
+		t.Fatal("the hot shard never shed")
+	}
+}

@@ -13,10 +13,16 @@ type nic struct {
 	cap      int
 }
 
+// nicInitialRing bounds the first ring allocation: the ring starts
+// small and doubles with occupancy, so memory tracks what a node
+// actually buffers, not the configured capacity (deep-queue cost models
+// would otherwise charge every node the worst case up front).
+const nicInitialRing = 64
+
 // newNIC builds a NIC with the given capacity. The ring itself is lazy —
-// allocated by the first deliver — so a node that sends, computes, or
-// just exists never pays queue memory (cap * 8 bytes) for packets it
-// never receives.
+// allocated by the first deliver and grown geometrically — so a node
+// that sends, computes, or just exists never pays queue memory for
+// packets it never receives.
 func newNIC(capacity int) *nic {
 	if capacity < 1 {
 		panic("cm5: NIC capacity must be positive")
@@ -53,7 +59,11 @@ func (n *nic) deliver(p *Packet) {
 	}
 	n.reserved--
 	if n.queue == nil {
-		n.queue = make([]*Packet, n.cap)
+		sz := n.cap
+		if sz > nicInitialRing {
+			sz = nicInitialRing
+		}
+		n.queue = make([]*Packet, sz)
 	}
 	if n.count == len(n.queue) {
 		grown := make([]*Packet, 2*len(n.queue))

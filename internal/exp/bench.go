@@ -168,6 +168,10 @@ type BenchResult struct {
 	// KernelScale is the node-count sweep: ns/event flatness and
 	// bytes/node under lazy materialization (see ScaleBench).
 	KernelScale ScaleBench `json:"kernel_scale"`
+	// KVSat is the service saturation pass: ORPC vs TRPC goodput through
+	// the knee, plus the SLO p999 below it (see KVSaturation). All its
+	// numbers are virtual-time, so they are host-independent.
+	KVSat KVSaturation `json:"kv_saturation"`
 	// RSS is the peak-RSS-after-each-pass series (monotone high-water).
 	RSS         []PassRSS  `json:"rss"`
 	Experiments []ExpBench `json:"experiments"`
@@ -404,6 +408,7 @@ var benchSuite = []struct {
 	{"interrupts", func(Scale) error { InterruptsTable(); return nil }},
 	{"sorsizes", func(s Scale) error { _, err := SORSizesTable(s.Quick); return err }},
 	{"chaos", func(s Scale) error { _, err := ChaosTable(s); return err }},
+	{"kv", func(s Scale) error { _, err := KVTable(s); return err }},
 }
 
 // Bench measures kernel throughput and the wall-clock of every experiment
@@ -453,6 +458,12 @@ func Bench(scale Scale) (*BenchResult, error) {
 	markRSS("kernel_observed")
 	res.KernelScale = KernelScale(scale.Quick)
 	markRSS("kernel_scale")
+	sat, err := KVSaturationBench(scale.Quick)
+	if err != nil {
+		return nil, fmt.Errorf("bench kv_saturation: %w", err)
+	}
+	res.KVSat = sat
+	markRSS("kv_saturation")
 	if res.GOMAXPROCS == 1 {
 		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par and seq-vs-sharded speedups do not measure parallelism"
 	}
@@ -535,6 +546,15 @@ func (r *BenchResult) Table() *Table {
 		if !r.KernelScale.ScaleValid {
 			t.Notes = append(t.Notes, "scale sweep below wall-clock floor on this host (scale_valid=false): ratio is not a kernel-cost measurement")
 		}
+	}
+	if r.KVSat.Valid {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"kv saturation: TRPC knee at %.2fx load, ORPC p999 %.0f us at 70%% of knee, %.2fx ORPC/TRPC goodput at %.2fx load",
+			r.KVSat.KneeRateX, r.KVSat.P999At70PctKneeUs,
+			r.KVSat.GoodputRatioAtMax, r.KVSat.Multipliers[len(r.KVSat.Multipliers)-1]))
+	} else {
+		t.Notes = append(t.Notes,
+			"kv saturation: the sweep never found the TRPC knee (kv_saturation.valid=false)")
 	}
 	gcNote := fmt.Sprintf("GC config: GOGC=%d GOMEMLIMIT=", r.GOGC)
 	if r.GOMEMLIMIT == math.MaxInt64 {

@@ -1,0 +1,317 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/kv"
+	"repro/internal/cm5"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// kvLatBounds are the SLO buckets the sweep's latency probe uses —
+// quantiles resolve to bucket upper bounds, so these are the service's
+// reportable SLO levels.
+var kvLatBounds = []sim.Duration{
+	sim.Micros(10), sim.Micros(30), sim.Micros(100), sim.Micros(300),
+	sim.Micros(1000), sim.Micros(3000), sim.Micros(10000), sim.Micros(30000),
+	sim.Micros(100000),
+}
+
+// kvLatProbe feeds request latencies into a pre-materialized histogram.
+// Materialize matters: clients observe from their own engine shards
+// concurrently, so the per-node rows must exist before the run starts.
+type kvLatProbe struct {
+	h *obs.Histogram
+}
+
+func newKVLatProbe(nodes int) *kvLatProbe {
+	r := obs.NewRegistry(nodes)
+	h := r.NewHistogram("kv/latency", kvLatBounds...)
+	h.Materialize()
+	return &kvLatProbe{h: h}
+}
+
+func (p *kvLatProbe) RequestDone(t sim.Time, client int, op kv.Op, out kv.Outcome, lat sim.Duration) {
+	if out != kv.OutcomeDrop {
+		p.h.Observe(client, lat)
+	}
+}
+
+func (p *kvLatProbe) ServerShed(t sim.Time, server, depth int) {}
+
+// KVRow is one cell of the service grid: one communication system under
+// one load scenario, with its invariants replay-checked and its SLO
+// quantiles read from the latency histogram. Offered and Goodput are in
+// requests per virtual millisecond; the gap between them is what the
+// saturated service sheds, drops, or times out.
+type KVRow struct {
+	Scenario string
+	System   apps.System
+	RateX    float64
+
+	Arrivals       uint64
+	OK             uint64
+	Drops          uint64
+	ShedGiveUps    uint64
+	TimeoutGiveUps uint64
+	Sheds          uint64 // server-side admission rejections (pre-give-up)
+	Promoted       uint64 // optimistic dispatches promoted to threads
+	Threads        uint64 // threads created machine-wide
+
+	Offered float64 // arrivals per virtual ms
+	Goodput float64 // completed requests per virtual ms
+
+	P50, P99, P999 sim.Duration
+
+	RecHash   uint64 // lease event-record hash; shard-count invariant
+	FaultHash uint64 // fault-trace hash; 0 for clean cells
+}
+
+// kvScenario is one named load shape of the grid.
+type kvScenario struct {
+	name  string
+	rateX float64
+	shape func(*kv.Config)
+}
+
+// kvCell runs one configuration, checks its invariants, and reduces it
+// to a row.
+func kvCell(scenario string, sys apps.System, rateX float64, shape func(*kv.Config), clients int, dur sim.Duration) (KVRow, error) {
+	cfg := kv.Config{
+		System:   sys,
+		Seed:     17,
+		Clients:  clients,
+		Duration: dur,
+		RateX:    rateX,
+		Shards:   Shards,
+	}
+	cfg.Optimistic = Optimistic
+	if shape != nil {
+		shape(&cfg)
+	}
+	probe := newKVLatProbe(cfg.Servers + clients)
+	if probe == nil {
+		return KVRow{}, fmt.Errorf("kv %s/%v: probe", scenario, sys)
+	}
+	cfg.Probe = probe
+	res, st, err := kv.Run(cfg)
+	if err != nil {
+		return KVRow{}, fmt.Errorf("kv %s/%v: %w", scenario, sys, err)
+	}
+	if err := kv.CheckInvariants(&st); err != nil {
+		return KVRow{}, fmt.Errorf("kv %s/%v: %w", scenario, sys, err)
+	}
+	ms := float64(cfg.Duration) / float64(sim.Millisecond)
+	p50, p99, p999 := probe.h.Percentiles()
+	row := KVRow{
+		Scenario: scenario, System: sys, RateX: rateX,
+		Arrivals: st.Arrivals, OK: st.OK, Drops: st.Drops,
+		ShedGiveUps: st.ShedGiveUps, TimeoutGiveUps: st.TimeoutGiveUps,
+		Sheds: st.Sheds, Promoted: st.Promoted, Threads: res.ThreadsCreated,
+		Offered: float64(st.Arrivals) / ms,
+		Goodput: float64(st.OK) / ms,
+		P50:     p50, P99: p99, P999: p999,
+		RecHash: st.RecordHash,
+	}
+	if cfg.Fault != nil {
+		row.FaultHash = st.FaultHash
+	}
+	return row, nil
+}
+
+// kvDefaultServers mirrors kv.Config's default partition count; the
+// probe needs the node count before withDefaults runs.
+func kvShape(mutate func(*kv.Config)) func(*kv.Config) {
+	return func(cfg *kv.Config) {
+		if cfg.Servers == 0 {
+			cfg.Servers = 4
+		}
+		if mutate != nil {
+			mutate(cfg)
+		}
+	}
+}
+
+// KV sweeps the service grid: every communication system through the
+// saturation knee on steady uniform load, then through the shaped
+// scenarios — bursty, diurnal, Zipf-skewed, lossy network, and (at full
+// scale) a wide fleet of mostly-idle clients. Every cell's event record
+// and client ledgers pass kv.CheckInvariants or the sweep fails.
+func KV(scale Scale) ([]KVRow, error) {
+	clients, dur := 48, sim.Duration(sim.Micros(12000))
+	mults := []float64{0.25, 0.5, 1, 1.5, 2, 3}
+	if scale.Quick {
+		clients, dur = 32, sim.Duration(sim.Micros(8000))
+		mults = []float64{0.5, 2}
+	}
+	type cell struct {
+		sc  kvScenario
+		sys apps.System
+	}
+	var cells []cell
+	for _, m := range mults {
+		sc := kvScenario{name: "steady", rateX: m, shape: kvShape(nil)}
+		for _, sys := range apps.Systems {
+			cells = append(cells, cell{sc, sys})
+		}
+	}
+	shaped := []kvScenario{
+		{"bursty", 1.5, kvShape(func(c *kv.Config) { c.Mode = kv.Bursty })},
+		{"diurnal", 1.5, kvShape(func(c *kv.Config) { c.Mode = kv.Diurnal })},
+		{"zipf", 1.5, kvShape(func(c *kv.Config) { c.ZipfS = 1.1 })},
+		{"lossy", 1, kvShape(func(c *kv.Config) {
+			c.Fault = &cm5.FaultPlan{Seed: 42, DropProb: 0.01, DupProb: 0.005}
+		})},
+	}
+	if scale.Quick {
+		shaped = shaped[3:] // keep the lossy cell: it exercises dedup + FaultHash
+	}
+	if !scale.Quick {
+		// The fleet scenario: 16x the clients at 1/16 the per-client rate
+		// — the same aggregate load spread over a wide, mostly-idle fleet.
+		shaped = append(shaped, kvScenario{"fleet", 1, kvShape(func(c *kv.Config) {
+			c.Clients = 768
+			c.MeanIAT = sim.Micros(6400)
+		})})
+	}
+	for _, sc := range shaped {
+		for _, sys := range apps.Systems {
+			cells = append(cells, cell{sc, sys})
+		}
+	}
+
+	rows := make([]KVRow, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		cl := cells[i]
+		nClients, nDur := clients, dur
+		// Scenario shapes may override Clients; pre-apply to size the probe.
+		tmp := kv.Config{Clients: clients}
+		cl.sc.shape(&tmp)
+		if tmp.Clients != clients {
+			nClients = tmp.Clients
+		}
+		row, err := kvCell(cl.sc.name, cl.sys, cl.sc.rateX, cl.sc.shape, nClients, nDur)
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// KVTable formats the service grid.
+func KVTable(scale Scale) (*Table, error) {
+	rows, err := KV(scale)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "KV service under open-loop load: offered vs goodput through the saturation knee, SLO latency, exact shed accounting",
+		Columns: []string{"Scenario", "Sys", "RateX", "Arrivals", "OK", "Drop", "ShedGU", "TimeGU",
+			"Sheds", "Promoted", "Threads", "Off(/ms)", "Good(/ms)",
+			"p50(us)", "p99(us)", "p999(us)", "RecHash", "FaultHash"},
+		Notes: []string{
+			"open-loop arrivals: every cell's per-client ledger satisfies",
+			"arrivals == ok + drops + shed-give-ups + timeout-give-ups, and every",
+			"server's lease record replays cleanly through kv.CheckInvariants",
+			"quantiles are bucket upper bounds (never under-reported); RecHash and",
+			"FaultHash are bit-identical at any shard count",
+		},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Scenario, r.System.String(), f2(r.RateX),
+			u64(r.Arrivals), u64(r.OK), u64(r.Drops), u64(r.ShedGiveUps), u64(r.TimeoutGiveUps),
+			u64(r.Sheds), u64(r.Promoted), u64(r.Threads),
+			f1(r.Offered), f1(r.Goodput),
+			us(r.P50), us(r.P99), us(r.P999),
+			fmt.Sprintf("%016x", r.RecHash),
+			fmt.Sprintf("%016x", r.FaultHash),
+		})
+	}
+	return t, nil
+}
+
+// KVSaturation is the saturation-knee pass of the host bench: ORPC and
+// TRPC goodput over an offered-load sweep, the knee where TRPC stops
+// keeping up, ORPC's p999 at 70% of that knee, and the goodput ratio at
+// the top of the sweep. All virtual quantities — deterministic on any
+// host; Valid only gates whether the knee landed inside the sweep.
+type KVSaturation struct {
+	Multipliers  []float64 `json:"multipliers"`
+	OfferedPerMs []float64 `json:"offered_per_ms"`
+	OrpcGoodput  []float64 `json:"orpc_goodput_per_ms"`
+	TrpcGoodput  []float64 `json:"trpc_goodput_per_ms"`
+	// KneeRateX is the first multiplier where TRPC goodput fell below
+	// 95% of the offered load; 0 when the sweep never saturated it.
+	KneeRateX float64 `json:"knee_rate_x"`
+	// P999At70PctKneeUs is ORPC's p999 (microseconds) at 70% of the knee
+	// load — the SLO headroom claim: latency holds below the knee.
+	P999At70PctKneeUs float64 `json:"p999_at_70pct_knee_us"`
+	// GoodputRatioAtMax is ORPC goodput / TRPC goodput at the top
+	// multiplier: how much service the optimistic path keeps delivering
+	// after thread-per-call has collapsed.
+	GoodputRatioAtMax float64 `json:"goodput_ratio_at_max"`
+	Valid             bool    `json:"valid"`
+}
+
+// KVSaturationBench sweeps ORPC and TRPC through the saturation knee.
+func KVSaturationBench(quick bool) (KVSaturation, error) {
+	clients, dur := 48, sim.Duration(sim.Micros(12000))
+	mults := []float64{0.25, 0.5, 0.75, 1, 1.5, 2, 3}
+	if quick {
+		clients, dur = 32, sim.Duration(sim.Micros(8000))
+		mults = []float64{0.25, 0.75, 1.5, 3}
+	}
+	sat := KVSaturation{Multipliers: mults}
+	sat.OfferedPerMs = make([]float64, len(mults))
+	sat.OrpcGoodput = make([]float64, len(mults))
+	sat.TrpcGoodput = make([]float64, len(mults))
+	type point struct{ offered, orpc, trpc float64 }
+	pts := make([]point, len(mults))
+	err := forEach(len(mults), func(i int) error {
+		ro, err := kvCell("sat", apps.ORPC, mults[i], kvShape(nil), clients, dur)
+		if err != nil {
+			return err
+		}
+		rt, err := kvCell("sat", apps.TRPC, mults[i], kvShape(nil), clients, dur)
+		if err != nil {
+			return err
+		}
+		pts[i] = point{ro.Offered, ro.Goodput, rt.Goodput}
+		return nil
+	})
+	if err != nil {
+		return sat, err
+	}
+	for i, p := range pts {
+		sat.OfferedPerMs[i] = p.offered
+		sat.OrpcGoodput[i] = p.orpc
+		sat.TrpcGoodput[i] = p.trpc
+	}
+	for i, p := range pts {
+		if p.trpc < 0.95*p.offered {
+			sat.KneeRateX = mults[i]
+			break
+		}
+	}
+	if sat.KneeRateX > 0 {
+		row, err := kvCell("sat-p999", apps.ORPC, 0.7*sat.KneeRateX, kvShape(nil), clients, dur)
+		if err != nil {
+			return sat, err
+		}
+		sat.P999At70PctKneeUs = float64(row.P999) / float64(sim.Microsecond)
+	}
+	last := len(pts) - 1
+	if pts[last].trpc > 0 {
+		sat.GoodputRatioAtMax = pts[last].orpc / pts[last].trpc
+	}
+	sat.Valid = sat.KneeRateX > 0 && sat.GoodputRatioAtMax > 0
+	return sat, nil
+}

@@ -1,0 +1,102 @@
+package exp
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// TestKVQuickGrid runs the quick service grid end to end: every cell
+// already passes kv.CheckInvariants inside KV, so this asserts the
+// grid-level facts — real traffic in every cell, a latency distribution
+// behind every quantile, and AM rows that never promoted.
+func TestKVQuickGrid(t *testing.T) {
+	rows, err := KV(Scale{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty grid")
+	}
+	// Open-loop arrivals are a pure function of (seed, client, shape):
+	// every system in a scenario/rate group must see the same offered
+	// load, or the comparison is between different workloads.
+	arrivals := map[string]uint64{}
+	sawLossy := false
+	for _, r := range rows {
+		gk := fmt.Sprintf("%s@%g", r.Scenario, r.RateX)
+		if want, seen := arrivals[gk]; seen && r.Arrivals != want {
+			t.Fatalf("%s/%v: %d arrivals, other systems in the group saw %d — the load is not open-loop",
+				r.Scenario, r.System, r.Arrivals, want)
+		}
+		arrivals[gk] = r.Arrivals
+		if r.Arrivals == 0 || r.OK == 0 {
+			t.Fatalf("%s/%v: no traffic (%d arrivals, %d ok)", r.Scenario, r.System, r.Arrivals, r.OK)
+		}
+		if r.P999 == 0 {
+			t.Fatalf("%s/%v: empty latency histogram", r.Scenario, r.System)
+		}
+		if r.P50 > r.P99 || r.P99 > r.P999 {
+			t.Fatalf("%s/%v: quantiles not monotone: %v %v %v", r.Scenario, r.System, r.P50, r.P99, r.P999)
+		}
+		if r.System == apps.AM && r.Promoted != 0 {
+			t.Fatalf("%s/AM: promoted %d times; the AM rows must have no abort points", r.Scenario, r.Promoted)
+		}
+		if r.Scenario == "lossy" {
+			sawLossy = true
+			if r.FaultHash == 0 {
+				t.Fatalf("lossy/%v: zero fault hash under 1%% drop", r.System)
+			}
+		}
+	}
+	if !sawLossy {
+		t.Fatal("quick grid lost its lossy scenario")
+	}
+}
+
+// TestKVShardInvariance re-runs one steady cell at shard counts 1 and 2
+// through the harness knobs (Shards is a package variable the CLI sets)
+// and requires bit-identical books and hashes.
+func TestKVShardInvariance(t *testing.T) {
+	run := func(shards int, optimistic bool) KVRow {
+		savedS, savedO := Shards, Optimistic
+		defer func() { Shards, Optimistic = savedS, savedO }()
+		Shards, Optimistic = shards, optimistic
+		row, err := kvCell("inv", apps.ORPC, 2, kvShape(nil), 24, sim.Micros(8000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	base := run(1, false)
+	for _, m := range []struct {
+		shards     int
+		optimistic bool
+	}{{2, false}, {2, true}} {
+		got := run(m.shards, m.optimistic)
+		if got != base {
+			t.Fatalf("shards=%d optimistic=%v diverged:\n got %+v\nwant %+v",
+				m.shards, m.optimistic, got, base)
+		}
+	}
+}
+
+// TestKVSaturationQuick checks the bench pass finds the knee and the
+// goodput gap on the quick sweep — the numbers CI asserts against.
+func TestKVSaturationQuick(t *testing.T) {
+	sat, err := KVSaturationBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sat.Valid {
+		t.Fatalf("quick sweep found no knee: %+v", sat)
+	}
+	if sat.GoodputRatioAtMax <= 1 {
+		t.Fatalf("ORPC goodput did not beat TRPC beyond the knee: ratio %.3f", sat.GoodputRatioAtMax)
+	}
+	if sat.P999At70PctKneeUs <= 0 {
+		t.Fatalf("no p999 below the knee: %+v", sat)
+	}
+}

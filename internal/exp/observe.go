@@ -5,12 +5,14 @@ import (
 	"sort"
 
 	"repro/internal/apps"
+	"repro/internal/apps/kv"
 	"repro/internal/apps/sched"
 	"repro/internal/apps/sor"
 	"repro/internal/apps/triangle"
 	"repro/internal/apps/tsp"
 	"repro/internal/apps/water"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 // ObserveSpec selects one observed application run.
@@ -92,6 +94,29 @@ var observedRuns = map[string]func(spec ObserveSpec, c *obs.Collector) (apps.Res
 		res, _, err := sched.Run(spec.Nodes-1, cfg)
 		return res, err
 	},
+	"kv": func(spec ObserveSpec, c *obs.Collector) (apps.Result, error) {
+		// -p counts total nodes; a quarter (at least one) serve, the rest
+		// are clients. The collector doubles as the service probe, so the
+		// trace grows a "kv" track of sheds and failed arrivals and the
+		// metrics report carries the SLO latency histogram.
+		servers := spec.Nodes / 4
+		if servers < 1 {
+			servers = 1
+		}
+		cfg := kv.Config{
+			System:  spec.Sys,
+			Seed:    105,
+			Servers: servers,
+			Clients: spec.Nodes - servers,
+			Observe: c.Attach,
+			Probe:   c,
+		}
+		if spec.Quick {
+			cfg.Duration = sim.Micros(5000)
+		}
+		res, _, err := kv.Run(cfg)
+		return res, err
+	},
 }
 
 // RunObserved runs one application with an obs.Collector attached and
@@ -105,7 +130,7 @@ func RunObserved(spec ObserveSpec, opts obs.Options) (*obs.Collector, apps.Resul
 	if spec.Nodes <= 0 {
 		spec.Nodes = 8
 	}
-	if (spec.App == "tsp" || spec.App == "sched") && spec.Nodes < 2 {
+	if (spec.App == "tsp" || spec.App == "sched" || spec.App == "kv") && spec.Nodes < 2 {
 		return nil, apps.Result{}, fmt.Errorf("%s needs at least 2 nodes (a master and a worker)", spec.App)
 	}
 	c := obs.New(opts)

@@ -57,14 +57,19 @@ type Collector struct {
 	cSchedPlaced                         *Counter
 	cSchedReclaims                       [3]*Counter
 	cSchedAccepted, cSchedRejected       *Counter
+	cKVDone                              [4]*Counter
+	cKVSheds                             *Counter
 	gNicDepth, gReadyDepth               *Gauge
-	hHandler, hWire, hCall               *Histogram
+	hHandler, hWire, hCall, hKVLat       *Histogram
 
 	// Scheduler control-plane trace state (see sched.go).
 	schedMeta bool              // sched track metadata emitted
 	schedSeq  uint64            // lease/outage async span ids
 	leaseID   map[leaseKey]uint64
 	outageID  map[int]uint64
+
+	// KV service trace state (see kv.go).
+	kvMeta map[int]bool // per node, kv track metadata emitted
 }
 
 type callKey struct {
@@ -136,6 +141,10 @@ func (c *Collector) Attach(u *am.Universe, rt *rpc.Runtime) {
 		}
 		c.cSchedAccepted = r.NewCounter("sched/completions_accepted")
 		c.cSchedRejected = r.NewCounter("sched/completions_fenced")
+		for i, out := range kvOutcomes {
+			c.cKVDone[i] = r.NewCounter("kv/done/" + out.String())
+		}
+		c.cKVSheds = r.NewCounter("kv/sheds")
 		c.cThCreated = r.NewCounter("threads/created")
 		c.cThStarted = r.NewCounter("threads/started")
 		c.cThLive = r.NewCounter("threads/live_stack_starts")
@@ -151,6 +160,7 @@ func (c *Collector) Attach(u *am.Universe, rt *rpc.Runtime) {
 		c.hCall = r.NewHistogram("rpc/call_time",
 			sim.Micros(10), sim.Micros(30), sim.Micros(100), sim.Micros(300),
 			sim.Micros(1000), sim.Micros(10000))
+		c.hKVLat = r.NewHistogram("kv/latency", kvLatBounds...)
 	}
 
 	if c.tb != nil {
