@@ -1,7 +1,7 @@
 // Command oamlab regenerates every table and figure of the paper's
 // evaluation (section 4) on the simulated machine:
 //
-//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-optimistic] [-cpuprofile F] [-memprofile F] <experiment>...
+//	oamlab [-quick] [-maxp N] [-csv] [-par N] [-shards N] [-optimistic] [-cores K] [-cpuprofile F] [-memprofile F] <experiment>...
 //
 // Run `oamlab -help` for the experiment list; it is generated from the
 // same command table that drives dispatch, so it cannot go stale.
@@ -50,6 +50,12 @@
 // shrinks -par so cells x shards never exceeds GOMAXPROCS. The observed
 // trace/metrics subcommands always run sequentially (their probes need
 // the single-threaded kernel).
+//
+// -cores gives every simulated node K cores: services that declare a
+// compatibility matrix (kv) dispatch compatible handlers concurrently in
+// virtual time (multiactive OAM). Simulated cores cost no host CPUs.
+// Results are bit-identical across -shards and -optimistic for a fixed
+// -cores value.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments, for finding host-side hot spots in the simulation kernel.
@@ -151,6 +157,8 @@ var commands = []command{
 		func(rc *runCtx) { rc.emit(exp.SchedTable(rc.scale)) }},
 	{"kv", "sharded key-value service under open-loop load", true, false,
 		func(rc *runCtx) { rc.emit(exp.KVTable(rc.scale)) }},
+	{"kvmulti", "multiactive kv dispatch: goodput and p999 vs simulated cores", true, false,
+		func(rc *runCtx) { rc.emit(exp.KVMultiactiveTable(rc.scale.Quick)) }},
 	{"bench", "host-performance report (writes -benchout JSON)", false, false,
 		func(rc *runCtx) {
 			res, err := exp.Bench(rc.scale)
@@ -223,6 +231,7 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 	par := fs.Int("par", 0, "concurrent experiment cells (0 = all CPUs, 1 = sequential)")
 	shards := fs.Int("shards", 1, "engine shards per run (1 = sequential kernel, -1 = one per CPU)")
 	optimistic := fs.Bool("optimistic", false, "sharded engines speculate past window edges (commit spans instead of lockstep windows)")
+	cores := fs.Int("cores", 1, "simulated cores per node (>1 enables multiactive dispatch where a compatibility matrix is declared)")
 	benchout := fs.String("benchout", "BENCH_kernel.json", "bench: where to write the JSON report")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
@@ -273,6 +282,9 @@ func realMain(args []string, stdout, stderr io.Writer) int {
 		exp.Shards = *shards
 	}
 	exp.Optimistic = *optimistic
+	if *cores > 1 {
+		exp.Cores = *cores
+	}
 	names := fs.Args()
 	if len(names) == 0 {
 		names = []string{"all"}

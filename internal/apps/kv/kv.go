@@ -133,6 +133,15 @@ type Config struct {
 	System        apps.System
 	Strategy      oam.Strategy
 	HandlerBudget sim.Duration // default 8 us: CAS promotes, the rest commit inline
+	// Cores > 1 enables multiactive ORPC dispatch: handlers compatible
+	// per the kv.rpc matrix (read/read always, everything else across
+	// disjoint keys) run concurrently on that many simulated per-node
+	// cores. The object lock is dropped in this mode — the matrix is the
+	// exclusion. Default 1: the paper's single-active discipline.
+	Cores int
+	// Adaptive replaces the fixed HandlerBudget with the dispatcher's
+	// per-node congestion- and history-driven controller.
+	Adaptive bool
 	// Fault is the injected fault plan (nil for a perfect network); Rel
 	// tunes the reliable transport, which is always attached.
 	Fault *cm5.FaultPlan
@@ -145,6 +154,11 @@ type Config struct {
 	RateX   float64
 	Mode    LoadMode
 	ZipfS   float64
+	// MixGet/MixPut/MixCas set the operation mix in per-mille of
+	// arrivals (defaults 600/250/50); the remainder are lock cycles.
+	MixGet int
+	MixPut int
+	MixCas int
 	// Duration is the arrival window (default 20 ms); the run then
 	// drains in-flight requests.
 	Duration sim.Duration
@@ -211,6 +225,18 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.MaxOutstanding <= 0 {
 		cfg.MaxOutstanding = 8
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.MixGet <= 0 {
+		cfg.MixGet = 600
+	}
+	if cfg.MixPut <= 0 {
+		cfg.MixPut = 250
+	}
+	if cfg.MixCas <= 0 {
+		cfg.MixCas = 50
 	}
 	if cfg.Budget <= 0 {
 		cfg.Budget = 24
@@ -445,10 +471,17 @@ func Run(cfg Config) (apps.Result, Stats, error) {
 	u.Machine().SetFaultPlan(cfg.Fault)
 	tr := reliable.Attach(u, cfg.Rel)
 
+	// Multiactive only applies to optimistic dispatch: TRPC is threads,
+	// AM is atomic handlers; both keep the single implicit core.
+	multiactive := cfg.Cores > 1 && cfg.System != apps.TRPC && cfg.System != apps.AM
 	opts := rpc.Options{Mode: rpc.ORPC, OAM: oam.Options{
 		Strategy:      cfg.Strategy,
 		HandlerBudget: cfg.HandlerBudget,
+		Adaptive:      cfg.Adaptive,
 	}}
+	if multiactive {
+		opts.OAM.Cores = cfg.Cores
+	}
 	switch cfg.System {
 	case apps.TRPC:
 		opts.Mode = rpc.TRPC
@@ -468,7 +501,12 @@ func Run(cfg Config) (apps.Result, Stats, error) {
 			store: make(map[uint32]*entry),
 			dedup: make(map[dedupKey]cached),
 		}
-		if cfg.System != apps.AM {
+		if cfg.System != apps.AM && !multiactive {
+			// Under multiactive ORPC the object lock is dropped: the
+			// compatibility matrix (reads overlap, writers need disjoint
+			// keys) is the exclusion, enforced at admission, and a handler
+			// holding a try-lock would spuriously abort its compatible
+			// peers.
 			s.mu = threads.NewMutex(u.Scheduler(i))
 		}
 		r.srvs[i] = s
@@ -629,6 +667,10 @@ func Run(cfg Config) (apps.Result, Stats, error) {
 		return 0, released
 	})
 
+	if multiactive {
+		rt.SetCompat(kvgen.CompatSpec())
+	}
+
 	if cfg.Observe != nil {
 		cfg.Observe(u, rt)
 	}
@@ -776,11 +818,11 @@ func Run(cfg Config) (apps.Result, Stats, error) {
 			}
 			var op Op
 			switch {
-			case z < 600:
+			case z < cfg.MixGet:
 				op = OpGet
-			case z < 850:
+			case z < cfg.MixGet+cfg.MixPut:
 				op = OpPut
-			case z < 900:
+			case z < cfg.MixGet+cfg.MixPut+cfg.MixCas:
 				op = OpCas
 			default:
 				op = OpLock

@@ -46,6 +46,11 @@ type Config struct {
 	// of lockstep windows when Shards resolves parallel (results stay
 	// bit-identical; only wall-clock time changes).
 	Optimistic bool
+	// Cores gives each simulated node this many cores (default 1).
+	// Values > 1 route sync ORPC dispatches through the multiactive path
+	// (oam.Options.Cores); SOR declares no compatibility matrix, so
+	// handlers still serialize and results are unchanged.
+	Cores int
 	// Observe, if non-nil, is called once the universe (and, for the RPC
 	// variants, the runtime — nil under AM) is built but before the SPMD
 	// program starts, so an observer can attach its probes.

@@ -130,10 +130,19 @@ func AblationTable() *Table {
 }
 
 // SchedPolicyRow compares front- vs back-of-queue scheduling of incoming
-// RPC threads (section 4.1: front always won).
+// RPC threads (section 4.1: front always won), plus fixed- vs
+// adaptive-budget abort thresholds on the optimistic dispatcher. The
+// OAM columns only apply to the budget rows; the queue-policy rows run
+// TRPC, where nothing dispatches optimistically.
 type SchedPolicyRow struct {
 	Policy  string
 	Elapsed sim.Duration
+	OAM     bool // Promoted/BudgetRaised are meaningful
+	// Promoted counts optimistic dispatches promoted to threads;
+	// BudgetRaised counts the adaptive controller's budget doublings
+	// (always 0 for the fixed row).
+	Promoted     uint64
+	BudgetRaised uint64
 }
 
 // SchedPolicy measures TRPC latency under both ready-queue policies on a
@@ -191,23 +200,90 @@ func SchedPolicy() []SchedPolicyRow {
 	rows := []SchedPolicyRow{
 		{Policy: "front-of-queue"},
 		{Policy: "back-of-queue"},
+		{Policy: "fixed-budget", OAM: true},
+		{Policy: "adaptive-budget", OAM: true},
 	}
 	forEach(len(rows), func(i int) error {
-		rows[i].Elapsed = run(i == 1)
+		if i < 2 {
+			rows[i].Elapsed = run(i == 1)
+		} else {
+			rows[i].Elapsed, rows[i].Promoted, rows[i].BudgetRaised = runBudgetPolicy(i == 3)
+		}
 		return nil
 	})
 	return rows
 }
 
+// runBudgetPolicy measures the optimistic dispatcher on a long-handler
+// request chain under a deliberately miscalibrated fixed budget (4 us
+// budget, 12 us handlers — every dispatch aborts TooLong and pays a
+// promotion) versus the adaptive per-node controller, which sees
+// budget aborts with a shallow backlog and doubles the budget until the
+// handlers complete inline.
+func runBudgetPolicy(adaptive bool) (sim.Duration, uint64, uint64) {
+	eng := sim.New(5)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 3, cm5.DefaultCostModel())
+	rt := rpc.New(u, rpc.Options{Mode: rpc.ORPC, OAM: oam.Options{
+		HandlerBudget: sim.Micros(4),
+		Adaptive:      adaptive,
+	}})
+	count := 0
+	work := rt.Define("work", func(e *oam.Env, caller int, arg []byte) []byte {
+		e.Compute(sim.Micros(12))
+		count++
+		return nil
+	})
+	stop := false
+	stopP := rt.DefineAsync("stop", func(e *oam.Env, caller int, arg []byte) []byte {
+		stop = true
+		return nil
+	})
+	elapsed, err := u.SPMD(func(c threads.Ctx, node int) {
+		switch node {
+		case 0:
+			ep := u.Endpoint(0)
+			for !stop {
+				ep.Poll(c)
+				c.P.Charge(sim.Micros(2))
+				c.S.Yield(c)
+			}
+		case 1:
+			for i := 0; i < 200; i++ {
+				work.Call(c, 0, nil)
+			}
+			stopP.CallAsync(c, 0, nil)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("exp: budget policy deadlocked: %v", err))
+	}
+	if count != 200 {
+		panic(fmt.Sprintf("exp: budget policy lost calls: %d", count))
+	}
+	st := rt.Dispatcher().Stats()
+	return sim.Duration(elapsed), st.Promoted, st.BudgetRaised
+}
+
 // SchedPolicyTable formats the scheduling-policy comparison.
 func SchedPolicyTable() *Table {
 	t := &Table{
-		Title:   "Incoming-thread scheduling policy (section 4.1), TRPC request chain",
-		Columns: []string{"Policy", "Elapsed(ms)"},
-		Notes:   []string{"paper: back-of-queue always performed worse"},
+		Title:   "Scheduling policy: incoming-thread queue position (section 4.1) and abort-budget control",
+		Columns: []string{"Policy", "Elapsed(ms)", "Promoted", "BudgetRaised"},
+		Notes: []string{
+			"paper: back-of-queue always performed worse",
+			"budget rows: same ORPC long-handler chain under a miscalibrated 4 us budget;",
+			"the adaptive controller doubles it until the 12 us handlers complete inline",
+		},
 	}
 	for _, r := range SchedPolicy() {
-		t.Rows = append(t.Rows, []string{r.Policy, fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6)})
+		promoted, raised := "-", "-"
+		if r.OAM {
+			promoted, raised = u64(r.Promoted), u64(r.BudgetRaised)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Policy, fmt.Sprintf("%.2f", float64(r.Elapsed)/1e6), promoted, raised,
+		})
 	}
 	return t
 }

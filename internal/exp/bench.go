@@ -172,6 +172,10 @@ type BenchResult struct {
 	// the knee, plus the SLO p999 below it (see KVSaturation). All its
 	// numbers are virtual-time, so they are host-independent.
 	KVSat KVSaturation `json:"kv_saturation"`
+	// KVMulti is the multiactive-dispatch pass: the read-heavy Zipf cell
+	// at 1/2/4 simulated cores per server (see KVMultiactive). Also all
+	// virtual-time and host-independent.
+	KVMulti KVMultiactive `json:"kv_multiactive"`
 	// RSS is the peak-RSS-after-each-pass series (monotone high-water).
 	RSS         []PassRSS  `json:"rss"`
 	Experiments []ExpBench `json:"experiments"`
@@ -409,6 +413,7 @@ var benchSuite = []struct {
 	{"sorsizes", func(s Scale) error { _, err := SORSizesTable(s.Quick); return err }},
 	{"chaos", func(s Scale) error { _, err := ChaosTable(s); return err }},
 	{"kv", func(s Scale) error { _, err := KVTable(s); return err }},
+	{"kvmulti", func(s Scale) error { _, err := KVMultiactiveTable(s.Quick); return err }},
 }
 
 // Bench measures kernel throughput and the wall-clock of every experiment
@@ -464,6 +469,12 @@ func Bench(scale Scale) (*BenchResult, error) {
 	}
 	res.KVSat = sat
 	markRSS("kv_saturation")
+	multi, err := KVMultiactiveBench(scale.Quick)
+	if err != nil {
+		return nil, fmt.Errorf("bench kv_multiactive: %w", err)
+	}
+	res.KVMulti = multi
+	markRSS("kv_multiactive")
 	if res.GOMAXPROCS == 1 {
 		res.Warning = "GOMAXPROCS=1: the parallel pass runs serialized, so the seq-vs-par and seq-vs-sharded speedups do not measure parallelism"
 	}
@@ -555,6 +566,12 @@ func (r *BenchResult) Table() *Table {
 	} else {
 		t.Notes = append(t.Notes,
 			"kv saturation: the sweep never found the TRPC knee (kv_saturation.valid=false)")
+	}
+	if n := len(r.KVMulti.Cores); n > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"kv multiactive: %.2fx goodput and %.2fx p999 at %d cores vs single-active (occupancy %.2f), valid=%v",
+			r.KVMulti.SpeedupAtMax, r.KVMulti.P999RatioAtMax, r.KVMulti.Cores[n-1],
+			r.KVMulti.OccupancyFrac[n-1], r.KVMulti.Valid))
 	}
 	gcNote := fmt.Sprintf("GC config: GOGC=%d GOMEMLIMIT=", r.GOGC)
 	if r.GOMEMLIMIT == math.MaxInt64 {

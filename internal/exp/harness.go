@@ -26,6 +26,15 @@ var Shards = 1
 // the resolved shard count is 1). Results are bit-identical either way.
 var Optimistic = false
 
+// Cores is the simulated per-node core count app runs request
+// (oam.Options.Cores). 1 keeps the paper's single-active dispatch;
+// higher values enable multiactive dispatch for apps that declare a
+// compatibility matrix. Simulated cores cost no host CPUs — they only
+// change how virtual time overlaps — so Cores does not enter
+// EffectiveWorkers. Results are bit-identical at any value of Shards for
+// a fixed Cores.
+var Cores = 1
+
 // EffectiveWorkers is the harness width actually used: Workers, shrunk so
 // that concurrent cells × shard runners per cell never exceeds
 // GOMAXPROCS. Without the cap, every cell would spin Shards goroutines of

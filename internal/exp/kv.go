@@ -2,11 +2,15 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 
+	"repro/internal/am"
 	"repro/internal/apps"
 	"repro/internal/apps/kv"
 	"repro/internal/cm5"
+	"repro/internal/oam"
 	"repro/internal/obs"
+	"repro/internal/rpc"
 	"repro/internal/sim"
 )
 
@@ -88,6 +92,7 @@ func kvCell(scenario string, sys apps.System, rateX float64, shape func(*kv.Conf
 		Shards:   Shards,
 	}
 	cfg.Optimistic = Optimistic
+	cfg.Cores = Cores
 	if shape != nil {
 		shape(&cfg)
 	}
@@ -314,4 +319,211 @@ func KVSaturationBench(quick bool) (KVSaturation, error) {
 	}
 	sat.Valid = sat.KneeRateX > 0 && sat.GoodputRatioAtMax > 0
 	return sat, nil
+}
+
+// kvOccProbe integrates the dispatcher's multiactive core-occupancy
+// track. Rows are pre-materialized per node and each node's row is only
+// touched from its own engine shard, so the probe is shard-safe the same
+// way kvLatProbe's histogram is. The Probe half is a no-op: only the
+// MultiProbe callbacks matter here.
+type kvOccProbe struct {
+	cores int
+	nodes []occWindow
+}
+
+// occWindow accumulates one node's busy-core time integral over its
+// active span (first to last occupancy transition).
+type occWindow struct {
+	started  bool
+	first    sim.Time
+	last     sim.Time
+	busy     int
+	busyArea sim.Duration // integral of busy cores over time
+}
+
+func newKVOccProbe(nodes, cores int) *kvOccProbe {
+	return &kvOccProbe{cores: cores, nodes: make([]occWindow, nodes)}
+}
+
+func (p *kvOccProbe) Attempt(sim.Time, int, string, oam.Strategy) {}
+func (p *kvOccProbe) Settled(sim.Time, int, string, oam.Outcome, oam.Reason, oam.Strategy) {
+}
+func (p *kvOccProbe) CompatQueueDepth(sim.Time, int, int) {}
+
+func (p *kvOccProbe) CoreOccupancy(t sim.Time, node int, busy int) {
+	w := &p.nodes[node]
+	if !w.started {
+		w.started, w.first = true, t
+	} else {
+		w.busyArea += sim.Duration(t-w.last) * sim.Duration(w.busy)
+	}
+	w.last, w.busy = t, busy
+}
+
+// Fraction reduces the track to one number: busy-core time over core
+// capacity, summed across every node that dispatched multiactively.
+// Zero when no node did (the single-active cell bypasses RunMulti).
+func (p *kvOccProbe) Fraction() float64 {
+	var area, capacity sim.Duration
+	for i := range p.nodes {
+		w := &p.nodes[i]
+		if !w.started || w.last == w.first {
+			continue
+		}
+		area += w.busyArea
+		capacity += sim.Duration(w.last-w.first) * sim.Duration(p.cores)
+	}
+	if capacity <= 0 {
+		return 0
+	}
+	return float64(area) / float64(capacity)
+}
+
+// KVMultiactive is the multiactive-dispatch pass of the host bench: one
+// read-heavy Zipf cell (gets dominate a skewed key space and their
+// service time is raised until the handler slot is the bottleneck) run
+// at 1, 2, and 4 simulated cores per server. Every reported quantity is
+// virtual time, so the pass is deterministic on any host — simulated
+// cores are free in host CPUs, they only parallelize virtual service
+// time. Valid still mirrors speedup_valid's shape (host CPUs >= top
+// core count) so consumers apply the same warn-skip discipline.
+type KVMultiactive struct {
+	// Mode tags the artifact scale ("quick" or "full"), mirroring the
+	// top-level report tag so the pass is self-describing when extracted.
+	Mode  string `json:"mode"`
+	Cores []int  `json:"cores"`
+	// The cell configuration is echoed so the artifact records which
+	// budgets and load shape produced the numbers: a fixed handler
+	// budget isolates the core count as the only variable.
+	HandlerBudgetUs float64 `json:"handler_budget_us"`
+	WorkGetUs       float64 `json:"work_get_us"`
+	RateX           float64 `json:"rate_x"`
+	ZipfS           float64 `json:"zipf_s"`
+	MixPerMille     [3]int  `json:"mix_per_mille"` // get, put, cas
+
+	GoodputPerMs []float64 `json:"goodput_per_ms"`
+	P999Us       []float64 `json:"p999_us"`
+	// OccupancyFrac is each cell's time-weighted busy-core fraction:
+	// busy-core time / (cores x active span), summed over servers. The
+	// cores=1 cell dispatches single-active, so its entry is 0.
+	OccupancyFrac  []float64 `json:"core_occupancy_frac"`
+	CompatAdmitted []uint64  `json:"compat_admitted"`
+	CompatQueued   []uint64  `json:"compat_queued"`
+	// SpeedupAtMax is goodput at the top core count over single-active
+	// goodput; P999RatioAtMax is the matching tail-latency ratio (< 1
+	// means multiactive shortened the tail).
+	SpeedupAtMax   float64 `json:"speedup_at_max"`
+	P999RatioAtMax float64 `json:"p999_ratio_at_max"`
+	Valid          bool    `json:"valid"`
+}
+
+// kvMultiactiveCores is the core-count sweep of the pass.
+var kvMultiactiveCores = []int{1, 2, 4}
+
+// KVMultiactiveBench sweeps the read-heavy Zipf cell over simulated
+// core counts. The load is sized so the single-active cell saturates
+// its servers' one handler slot (offered get work alone exceeds one
+// core), which is exactly where compatible-read admission pays.
+func KVMultiactiveBench(quick bool) (KVMultiactive, error) {
+	const (
+		servers = 4
+		clients = 48
+		rateX   = 2
+		zipfS   = 1.1
+	)
+	var (
+		workGet = sim.Duration(sim.Micros(8))
+		budget  = sim.Duration(sim.Micros(24))
+		mix     = [3]int{900, 60, 40}
+	)
+	dur := sim.Duration(sim.Micros(12000))
+	mode := "full"
+	if quick {
+		dur = sim.Duration(sim.Micros(6000))
+		mode = "quick"
+	}
+	n := len(kvMultiactiveCores)
+	m := KVMultiactive{
+		Mode:            mode,
+		Cores:           kvMultiactiveCores,
+		HandlerBudgetUs: float64(budget) / float64(sim.Microsecond),
+		WorkGetUs:       float64(workGet) / float64(sim.Microsecond),
+		RateX:           rateX,
+		ZipfS:           zipfS,
+		MixPerMille:     mix,
+		GoodputPerMs:    make([]float64, n),
+		P999Us:          make([]float64, n),
+		OccupancyFrac:   make([]float64, n),
+		CompatAdmitted:  make([]uint64, n),
+		CompatQueued:    make([]uint64, n),
+	}
+	err := forEach(n, func(i int) error {
+		cores := kvMultiactiveCores[i]
+		probe := newKVOccProbe(servers+clients, cores)
+		var rt *rpc.Runtime
+		shape := func(c *kv.Config) {
+			c.Servers = servers
+			c.Cores = cores
+			c.ZipfS = zipfS
+			c.MixGet, c.MixPut, c.MixCas = mix[0], mix[1], mix[2]
+			c.WorkGet = workGet
+			c.HandlerBudget = budget
+			c.Observe = func(_ *am.Universe, r *rpc.Runtime) {
+				rt = r
+				r.Dispatcher().SetProbe(probe)
+			}
+		}
+		row, err := kvCell("multiactive", apps.ORPC, rateX, shape, clients, dur)
+		if err != nil {
+			return err
+		}
+		m.GoodputPerMs[i] = row.Goodput
+		m.P999Us[i] = float64(row.P999) / float64(sim.Microsecond)
+		m.OccupancyFrac[i] = probe.Fraction()
+		if rt != nil {
+			st := rt.Dispatcher().Stats()
+			m.CompatAdmitted[i] = st.CompatAdmitted
+			m.CompatQueued[i] = st.CompatQueued
+		}
+		return nil
+	})
+	if err != nil {
+		return m, err
+	}
+	last := n - 1
+	if m.GoodputPerMs[0] > 0 {
+		m.SpeedupAtMax = m.GoodputPerMs[last] / m.GoodputPerMs[0]
+	}
+	if m.P999Us[0] > 0 {
+		m.P999RatioAtMax = m.P999Us[last] / m.P999Us[0]
+	}
+	m.Valid = m.SpeedupAtMax > 0 && runtime.NumCPU() >= kvMultiactiveCores[last]
+	return m, nil
+}
+
+// KVMultiactiveTable formats the core-count sweep.
+func KVMultiactiveTable(quick bool) (*Table, error) {
+	m, err := KVMultiactiveBench(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf(
+			"Multiactive dispatch on the read-heavy Zipf kv cell: %.2fx goodput and %.2fx p999 at %d cores vs single-active",
+			m.SpeedupAtMax, m.P999RatioAtMax, m.Cores[len(m.Cores)-1]),
+		Columns: []string{"Cores", "Good(/ms)", "p999(us)", "Occupancy", "CompatAdm", "CompatQ"},
+		Notes: []string{
+			fmt.Sprintf("cell: %d%%/%d%%/%d%% get/put/cas per-mille, zipf s=%.1f, %.0f us gets, %.0fx load",
+				m.MixPerMille[0], m.MixPerMille[1], m.MixPerMille[2], m.ZipfS, m.WorkGetUs, m.RateX),
+			"simulated cores cost no host CPUs; all columns are virtual-time, deterministic on any host",
+			"occupancy is busy-core time over core capacity across the servers' active spans (0 single-active)",
+		},
+	}
+	for i, cores := range m.Cores {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", cores), f1(m.GoodputPerMs[i]), f1(m.P999Us[i]),
+			f2(m.OccupancyFrac[i]), u64(m.CompatAdmitted[i]), u64(m.CompatQueued[i]),
+		})
+	}
+	return t, nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/apps/kv"
 	"repro/internal/sim"
 )
 
@@ -98,5 +99,69 @@ func TestKVSaturationQuick(t *testing.T) {
 	}
 	if sat.P999At70PctKneeUs <= 0 {
 		t.Fatalf("no p999 below the knee: %+v", sat)
+	}
+}
+
+// TestKVMultiactiveQuick checks the multiactive bench pass on the quick
+// cell: everything it reports is virtual time, so the assertions are
+// deterministic on any host (only Valid depends on the host CPU count).
+func TestKVMultiactiveQuick(t *testing.T) {
+	m, err := KVMultiactiveBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SpeedupAtMax < 1.3 {
+		t.Fatalf("multiactive goodput speedup %.2fx < 1.3x: %+v", m.SpeedupAtMax, m)
+	}
+	if m.P999RatioAtMax >= 1 {
+		t.Fatalf("multiactive did not shorten the tail: p999 ratio %.2f", m.P999RatioAtMax)
+	}
+	for i, cores := range m.Cores {
+		if cores > 1 {
+			if m.CompatAdmitted[i] == 0 {
+				t.Fatalf("cores=%d admitted no compatible handlers", cores)
+			}
+			if m.OccupancyFrac[i] <= 0 || m.OccupancyFrac[i] > 1 {
+				t.Fatalf("cores=%d occupancy %.3f outside (0, 1]", cores, m.OccupancyFrac[i])
+			}
+		} else if m.OccupancyFrac[i] != 0 || m.CompatAdmitted[i] != 0 {
+			t.Fatalf("single-active cell reported multiactive activity: %+v", m)
+		}
+		if m.GoodputPerMs[i] < m.GoodputPerMs[0] {
+			t.Fatalf("goodput fell below single-active at cores=%d: %+v", cores, m)
+		}
+	}
+}
+
+// TestKVMultiactiveShardInvariance re-runs the 2-core cell at shard
+// counts 1 and 2 (and 2-optimistic) and requires bit-identical books —
+// the multiactive extension of TestKVShardInvariance.
+func TestKVMultiactiveShardInvariance(t *testing.T) {
+	run := func(shards int, optimistic bool) KVRow {
+		savedS, savedO := Shards, Optimistic
+		defer func() { Shards, Optimistic = savedS, savedO }()
+		Shards, Optimistic = shards, optimistic
+		row, err := kvCell("inv", apps.ORPC, 2, kvShape(func(c *kv.Config) {
+			c.Cores = 2
+			c.ZipfS = 1.1
+		}), 24, sim.Micros(8000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return row
+	}
+	base := run(1, false)
+	if base.OK == 0 {
+		t.Fatal("no traffic in the multiactive invariance cell")
+	}
+	for _, m := range []struct {
+		shards     int
+		optimistic bool
+	}{{2, false}, {2, true}} {
+		got := run(m.shards, m.optimistic)
+		if got != base {
+			t.Fatalf("shards=%d optimistic=%v diverged:\n got %+v\nwant %+v",
+				m.shards, m.optimistic, got, base)
+		}
 	}
 }

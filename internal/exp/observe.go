@@ -108,6 +108,7 @@ var observedRuns = map[string]func(spec ObserveSpec, c *obs.Collector) (apps.Res
 			Seed:    105,
 			Servers: servers,
 			Clients: spec.Nodes - servers,
+			Cores:   Cores,
 			Observe: c.Attach,
 			Probe:   c,
 		}

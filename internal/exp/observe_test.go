@@ -212,3 +212,40 @@ func TestRunObservedErrors(t *testing.T) {
 		t.Error("1-node tsp did not error")
 	}
 }
+
+// TestObservedKVMultiactive: with Cores > 1 the observed kv run populates
+// the multiactive probe tracks — the cores-busy and compat-queue gauges in
+// the metrics registry and their counter tracks in the trace.
+func TestObservedKVMultiactive(t *testing.T) {
+	old := Cores
+	Cores = 2
+	defer func() { Cores = old }()
+	c, res, err := RunObserved(
+		ObserveSpec{App: "kv", Sys: apps.ORPC, Nodes: 8, Quick: true},
+		obs.Options{Trace: true, Metrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed == 0 {
+		t.Fatal("no elapsed time")
+	}
+	var reg bytes.Buffer
+	if err := c.Registry().Write(&reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"oam/cores_busy", "oam/compat_queue"} {
+		if !strings.Contains(reg.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, reg.String())
+		}
+	}
+	var tr bytes.Buffer
+	if err := c.WriteTrace(&tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tr.String(), `"cores_busy"`) {
+		t.Error("trace missing the cores_busy counter track")
+	}
+	if !json.Valid(tr.Bytes()) {
+		t.Error("trace is not valid JSON")
+	}
+}

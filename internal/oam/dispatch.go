@@ -47,6 +47,23 @@ type Options struct {
 	// StrictNetAbort makes Env.Send abort with NetworkFull instead of
 	// relying on the CM-5 drain-while-sending behaviour.
 	StrictNetAbort bool
+	// Cores, when > 1, enables multiactive dispatch: handlers compatible
+	// per Compat run concurrently on this many simulated per-node cores
+	// (RunMulti). Zero or one keeps the paper's single-active discipline.
+	Cores int
+	// Compat is the compatibility matrix consulted by multiactive
+	// admission. Nil means no two handlers are ever compatible.
+	Compat *CompatTable
+	// Adaptive replaces the fixed HandlerBudget with a per-node controller
+	// that adjusts the budget within [BudgetMin, BudgetMax] and the
+	// promote-vs-rerun choice from observed abort history and queue depth.
+	// The controller reads only deterministic per-node counters, so
+	// adapted schedules stay replayable.
+	Adaptive bool
+	// BudgetMin and BudgetMax bound the adaptive budget. Zero values
+	// default to HandlerBudget/4 and HandlerBudget*8.
+	BudgetMin sim.Duration
+	BudgetMax sim.Duration
 }
 
 // Outcome reports what happened to one optimistic dispatch.
@@ -70,6 +87,14 @@ type Stats struct {
 	Promoted  uint64
 	Nacked    uint64
 	ByReason  [numReasons]uint64
+
+	// Multiactive admission: dispatches admitted straight onto a core vs.
+	// parked in the compatibility queue first.
+	CompatAdmitted uint64
+	CompatQueued   uint64
+	// Adaptive controller actions: handler-budget doublings and halvings.
+	BudgetRaised  uint64
+	BudgetLowered uint64
 }
 
 // SuccessPercent is the "% Successes" column of Tables 2 and 3.
@@ -80,15 +105,45 @@ func (s *Stats) SuccessPercent() float64 {
 	return 100 * float64(s.Succeeded) / float64(s.Total)
 }
 
+// statsFormat is shared by String and its round-trip tests.
+const statsFormat = "total=%d ok=%d promoted=%d nacked=%d " +
+	"compat_admitted=%d compat_queued=%d budget_raised=%d budget_lowered=%d " +
+	"lock_busy=%d cond_false=%d network_full=%d too_long=%d"
+
+func (s Stats) String() string {
+	return fmt.Sprintf(statsFormat,
+		s.Total, s.Succeeded, s.Promoted, s.Nacked,
+		s.CompatAdmitted, s.CompatQueued, s.BudgetRaised, s.BudgetLowered,
+		s.ByReason[LockBusy], s.ByReason[CondFalse], s.ByReason[NetworkFull], s.ByReason[TooLong])
+}
+
+// Add merges o's counters into s.
+func (s *Stats) Add(o *Stats) {
+	s.Total += o.Total
+	s.Succeeded += o.Succeeded
+	s.Promoted += o.Promoted
+	s.Nacked += o.Nacked
+	for r := range o.ByReason {
+		s.ByReason[r] += o.ByReason[r]
+	}
+	s.CompatAdmitted += o.CompatAdmitted
+	s.CompatQueued += o.CompatQueued
+	s.BudgetRaised += o.BudgetRaised
+	s.BudgetLowered += o.BudgetLowered
+}
+
 // Dispatcher runs remote-procedure bodies optimistically. One dispatcher
 // serves a whole universe; per-procedure statistics belong to the RPC
 // layer above. Counters are kept per node — each increments only from its
 // own node's polling context — so dispatches on different engine shards
 // never contend; Stats sums them.
 type Dispatcher struct {
-	opts  Options
-	stats []Stats
-	probe Probe
+	opts   Options
+	stats  []Stats
+	multi  []multiNode
+	ctls   []nodeCtl
+	probe  Probe
+	mprobe MultiProbe
 }
 
 // Probe observes optimistic dispatches. Probes are pure observers — they
@@ -103,8 +158,24 @@ type Probe interface {
 	Settled(t sim.Time, node int, name string, outcome Outcome, reason Reason, strategy Strategy)
 }
 
-// SetProbe installs a dispatch probe; pass nil to disable.
-func (d *Dispatcher) SetProbe(p Probe) { d.probe = p }
+// MultiProbe is the optional multiactive extension of Probe: a probe that
+// also implements it receives core-occupancy and compatibility-queue
+// tracks. Kept separate so existing Probe implementations stay valid.
+type MultiProbe interface {
+	// CoreOccupancy fires when the number of busy simulated cores on node
+	// changes.
+	CoreOccupancy(t sim.Time, node int, busy int)
+	// CompatQueueDepth fires when node's compatibility queue changes
+	// length.
+	CompatQueueDepth(t sim.Time, node int, depth int)
+}
+
+// SetProbe installs a dispatch probe; pass nil to disable. A probe that
+// also implements MultiProbe receives the multiactive tracks.
+func (d *Dispatcher) SetProbe(p Probe) {
+	d.probe = p
+	d.mprobe, _ = p.(MultiProbe)
+}
 
 // NewDispatcher returns a dispatcher with the given options.
 func NewDispatcher(opts Options) *Dispatcher { return &Dispatcher{opts: opts} }
@@ -117,6 +188,12 @@ func (d *Dispatcher) SetNodes(n int) {
 		grown := make([]Stats, n)
 		copy(grown, d.stats)
 		d.stats = grown
+		multi := make([]multiNode, n)
+		copy(multi, d.multi)
+		d.multi = multi
+		ctls := make([]nodeCtl, n)
+		copy(ctls, d.ctls)
+		d.ctls = ctls
 	}
 }
 
@@ -135,14 +212,7 @@ func (d *Dispatcher) Options() Options { return d.opts }
 func (d *Dispatcher) Stats() Stats {
 	var out Stats
 	for i := range d.stats {
-		s := &d.stats[i]
-		out.Total += s.Total
-		out.Succeeded += s.Succeeded
-		out.Promoted += s.Promoted
-		out.Nacked += s.Nacked
-		for r := range s.ByReason {
-			out.ByReason[r] += s.ByReason[r]
-		}
+		out.Add(&d.stats[i])
 	}
 	return out
 }
@@ -163,25 +233,42 @@ func NewThreadEnv(c threads.Ctx, ep *am.Endpoint, d *Dispatcher) *Env {
 // on a lent auxiliary process so that a blocked execution can be adopted
 // as a thread without re-execution.
 func (d *Dispatcher) Run(c threads.Ctx, ep *am.Endpoint, name string, body func(*Env)) (Outcome, Reason) {
-	st := d.nodeStats(ep.Node().ID())
+	node := ep.Node().ID()
+	st := d.nodeStats(node)
 	st.Total++
-	if d.probe != nil {
-		d.probe.Attempt(c.P.Now(), ep.Node().ID(), name, d.opts.Strategy)
+	strat := d.opts.Strategy
+	if d.opts.Adaptive && strat == Rerun && d.nodeCtl(node).preferLazy {
+		// History-driven promote choice: under sustained aborts, promote
+		// the suspended execution in place instead of re-running it.
+		strat = Continuation
 	}
-	if d.opts.Strategy == Continuation {
-		return d.runLent(c, ep, name, body)
+	if d.probe != nil {
+		d.probe.Attempt(c.P.Now(), node, name, strat)
+	}
+	if strat == Continuation {
+		o, r := d.runLent(c, ep, name, body)
+		if d.opts.Adaptive {
+			d.adapt(node, o != Completed, r, ep.Node().Pending())
+		}
+		return o, r
 	}
 	env := &Env{C: c, ep: ep, d: d, optimistic: true, name: name}
 	reason, aborted := attempt(env, body)
 	if !aborted {
 		env.commit()
 		st.Succeeded++
+		if d.opts.Adaptive {
+			d.adapt(node, false, 0, ep.Node().Pending())
+		}
 		d.settle(c, ep, name, Completed, 0)
 		return Completed, 0
 	}
 	env.undo()
 	st.ByReason[reason]++
-	if d.opts.Strategy == Nack {
+	if d.opts.Adaptive {
+		d.adapt(node, true, reason, ep.Node().Pending())
+	}
+	if strat == Nack {
 		st.Nacked++
 		d.settle(c, ep, name, NackNeeded, reason)
 		return NackNeeded, reason

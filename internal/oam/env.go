@@ -71,9 +71,12 @@ type Env struct {
 }
 
 // continuation reports whether an abort condition should promote in place
-// rather than unwind.
+// rather than unwind. Only executions dispatched through the lend
+// protocol (runLent sets onPromote) may promote in place; multiactive
+// core executions always unwind — the lend/adopt dance presumes the
+// single-CPU discipline.
 func (e *Env) continuation() bool {
-	return e.optimistic && e.d.opts.Strategy == Continuation
+	return e.optimistic && e.onPromote != nil
 }
 
 // promote adopts the running execution as a thread: lazy thread creation.
@@ -219,7 +222,11 @@ func (e *Env) Compute(d sim.Duration) {
 		return
 	}
 	e.spent += d
-	if b := e.d.opts.HandlerBudget; b > 0 && e.spent > b {
+	b := e.d.opts.HandlerBudget
+	if e.d.opts.Adaptive && b > 0 {
+		b = e.d.budgetFor(e.ep.Node().ID())
+	}
+	if b > 0 && e.spent > b {
 		if !e.continuation() {
 			e.abort(TooLong)
 		}

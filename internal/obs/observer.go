@@ -60,6 +60,7 @@ type Collector struct {
 	cKVDone                              [4]*Counter
 	cKVSheds                             *Counter
 	gNicDepth, gReadyDepth               *Gauge
+	gCoresBusy, gCompatQueue             *Gauge
 	hHandler, hWire, hCall, hKVLat       *Histogram
 
 	// Scheduler control-plane trace state (see sched.go).
@@ -151,6 +152,8 @@ func (c *Collector) Attach(u *am.Universe, rt *rpc.Runtime) {
 		c.cThExited = r.NewCounter("threads/exited")
 		c.gNicDepth = r.NewGauge("cm5/nic_depth")
 		c.gReadyDepth = r.NewGauge("threads/ready_depth")
+		c.gCoresBusy = r.NewGauge("oam/cores_busy")
+		c.gCompatQueue = r.NewGauge("oam/compat_queue")
 		c.hHandler = r.NewHistogram("am/handler_time",
 			sim.Micros(1), sim.Micros(3), sim.Micros(10), sim.Micros(30),
 			sim.Micros(100), sim.Micros(300), sim.Micros(1000))
@@ -432,6 +435,26 @@ func (c *Collector) Settled(t sim.Time, node int, name string, outcome oam.Outco
 			c.tb.instant("abort: "+reason.String(), "abort", t, node, tidOAM,
 				fmt.Sprintf(`{"proc":"%s","strategy":"%s"}`, jsonString(name), strategy.String()))
 		}
+	}
+}
+
+// --- oam.MultiProbe (multiactive dispatch tracks) ---
+
+func (c *Collector) CoreOccupancy(t sim.Time, node int, busy int) {
+	if c.gCoresBusy != nil {
+		c.gCoresBusy.Set(node, int64(busy))
+	}
+	if c.tb != nil {
+		c.tb.counter("cores_busy", t, node, int64(busy))
+	}
+}
+
+func (c *Collector) CompatQueueDepth(t sim.Time, node int, depth int) {
+	if c.gCompatQueue != nil {
+		c.gCompatQueue.Set(node, int64(depth))
+	}
+	if c.tb != nil {
+		c.tb.counter("compat_queue", t, node, int64(depth))
 	}
 }
 

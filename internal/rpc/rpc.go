@@ -219,6 +219,13 @@ type Proc struct {
 	async bool
 	impl  Impl
 	stats []ProcStats
+	// class is the procedure's row in the compatibility matrix installed
+	// by SetCompat, or -1 (incompatible with everything) when unset.
+	class int
+	// keyFn extracts the disjointness key from a marshaled argument frame
+	// for disjoint(key) compatibility clauses; nil when the procedure has
+	// no key.
+	keyFn func(arg []byte) uint64
 }
 
 // Define registers a synchronous remote procedure.
@@ -233,10 +240,43 @@ func (rt *Runtime) DefineAsync(name string, impl Impl) *Proc {
 
 func (rt *Runtime) define(name string, async bool, impl Impl) *Proc {
 	p := &Proc{rt: rt, name: name, async: async, impl: impl,
-		stats: make([]ProcStats, rt.u.N())}
+		stats: make([]ProcStats, rt.u.N()), class: -1}
 	p.h = rt.u.Register("rpc/"+name, p.serve)
 	rt.procs = append(rt.procs, p)
 	return p
+}
+
+// CompatMethod names one procedure's row in a compatibility matrix and,
+// optionally, its disjointness-key extractor.
+type CompatMethod struct {
+	Name string
+	Key  func(arg []byte) uint64
+}
+
+// CompatSpec ties a service's compatibility matrix to its procedures.
+// The generated stubs' CompatSpec() compiles one from the IDL's
+// compatible clauses.
+type CompatSpec struct {
+	Table   *oam.CompatTable
+	Methods []CompatMethod
+}
+
+// SetCompat installs a compatibility spec: each named procedure gets its
+// matrix class (its index in spec.Methods) and key extractor, and the
+// dispatchers consult spec.Table for multiactive admission. Call it after
+// the Define calls, before the simulation starts.
+func (rt *Runtime) SetCompat(spec CompatSpec) {
+	rt.d.SetCompat(spec.Table)
+	rt.dAsync.SetCompat(spec.Table)
+	for i := range spec.Methods {
+		m := &spec.Methods[i]
+		for _, p := range rt.procs {
+			if p.name == m.Name {
+				p.class = i
+				p.keyFn = m.Key
+			}
+		}
+	}
 }
 
 // Name returns the procedure name.
@@ -288,6 +328,31 @@ func (p *Proc) serve(c threads.Ctx, pkt *cm5.Packet) {
 		d = rt.dAsync
 	}
 	st.OAMs++
+	if !p.async && rt.opts.OAM.Cores > 1 {
+		// Multiactive dispatch: the execution may be queued behind
+		// incompatible peers and settle after serve returns, so outcome
+		// accounting moves into the settle callback (still on this node).
+		var key uint64
+		hasKey := p.keyFn != nil
+		if hasKey {
+			key = p.keyFn(arg)
+		}
+		d.RunMulti(c, ep, p.name, p.class, key, hasKey, func(e *oam.Env) {
+			res := p.impl(e, caller, arg)
+			p.sendReply(e, caller, callID, res)
+		}, func(c2 threads.Ctx, outcome oam.Outcome, _ oam.Reason) {
+			switch outcome {
+			case oam.Completed:
+				st.Successes++
+			case oam.Promoted:
+				st.Promoted++
+			case oam.NackNeeded:
+				st.Nacks++
+				ep.Send(c2, caller, rt.nackH, [4]uint64{callID}, nil)
+			}
+		})
+		return
+	}
 	outcome, _ := d.Run(c, ep, p.name, func(e *oam.Env) {
 		res := p.impl(e, caller, arg)
 		if !p.async {

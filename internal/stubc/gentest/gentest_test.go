@@ -166,3 +166,79 @@ func TestGeneratedStatsWork(t *testing.T) {
 		}
 	})
 }
+
+// TestCompatSpecGolden pins the compatibility matrix generated from
+// alltypes.rpc: method order, which methods carry key extractors, and the
+// extractors' ability to decode past earlier parameters.
+func TestCompatSpecGolden(t *testing.T) {
+	spec := CompatSpec()
+	if got := spec.Table.Methods(); got != 8 {
+		t.Fatalf("matrix classes = %d, want 8 (one per proc)", got)
+	}
+	wantKeyed := map[string]bool{
+		"Echo": true, "Buffers": false, "NoArgs": false, "NoResults": true,
+		"Nothing": false, "Fire": false, "Dot": false, "Tag": false,
+	}
+	if len(spec.Methods) != len(wantKeyed) {
+		t.Fatalf("methods = %d, want %d", len(spec.Methods), len(wantKeyed))
+	}
+	for _, m := range spec.Methods {
+		keyed, known := wantKeyed[m.Name]
+		if !known {
+			t.Errorf("unexpected method %q", m.Name)
+			continue
+		}
+		if (m.Key != nil) != keyed {
+			t.Errorf("%s: keyed = %v, want %v", m.Name, m.Key != nil, keyed)
+		}
+	}
+	// Echo's key (i64) sits behind a bool and an int32 on the wire; the
+	// extractor must decode past both.
+	enc := rpc.NewEnc(16)
+	enc.Bool(true)
+	enc.I32(-42)
+	enc.I64(123456789)
+	if got := spec.Methods[0].Key(enc.Bytes()); got != 123456789 {
+		t.Errorf("keyEcho = %d, want 123456789", got)
+	}
+	// NoResults' key is its first (only) parameter; a negative int64 maps
+	// onto uint64 bit-for-bit.
+	enc = rpc.NewEnc(8)
+	enc.I64(-1)
+	if got := spec.Methods[3].Key(enc.Bytes()); got != ^uint64(0) {
+		t.Errorf("keyNoResults = %#x, want all-ones", got)
+	}
+}
+
+// TestCompatMultiactiveLive drives the generated CompatSpec through a live
+// multiactive runtime: two clients calling the always-compatible NoArgs
+// are admitted concurrently onto separate cores.
+func TestCompatMultiactiveLive(t *testing.T) {
+	eng := sim.New(5)
+	defer eng.Shutdown()
+	u := am.NewUniverse(eng, 3, cm5.DefaultCostModel())
+	rt := rpc.New(u, rpc.Options{Mode: rpc.ORPC, OAM: oam.Options{Cores: 2}})
+	noArgs := DefineNoArgs(rt, func(e *oam.Env, caller int) int64 {
+		e.Compute(sim.Micros(50))
+		return int64(caller)
+	})
+	rt.SetCompat(CompatSpec())
+	_, err := u.SPMD(func(c threads.Ctx, node int) {
+		if node == 1 {
+			return
+		}
+		if v := noArgs.Call(c, 1); v != int64(node) {
+			t.Errorf("node %d: NoArgs = %d", node, v)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Dispatcher().Stats()
+	if st.Total != 2 || st.Succeeded != 2 {
+		t.Fatalf("stats %v", st)
+	}
+	if st.CompatAdmitted != 2 || st.CompatQueued != 0 {
+		t.Fatalf("both calls should be admitted concurrently: %v", st)
+	}
+}

@@ -70,11 +70,33 @@ type StructDecl struct {
 	Line   int
 }
 
+// CompatDecl is one `compatible A B [when disjoint(param)]` clause: the
+// two named procedures may execute concurrently on one node —
+// unconditionally, or only when their key parameters differ. Compiled
+// into the service's oam.CompatTable by the generator.
+type CompatDecl struct {
+	A, B     string
+	Disjoint bool
+	KeyParam string // set when Disjoint
+	Line     int
+}
+
 // File is a parsed IDL file.
 type File struct {
 	Package string
 	Structs []StructDecl
 	Procs   []ProcDecl
+	Compat  []CompatDecl
+}
+
+// procByName finds a declared procedure.
+func (f *File) procByName(n string) *ProcDecl {
+	for i := range f.Procs {
+		if f.Procs[i].Name == n {
+			return &f.Procs[i]
+		}
+	}
+	return nil
 }
 
 // structByName finds a declared struct.
@@ -145,6 +167,15 @@ func Parse(src string) (*File, error) {
 			}
 			names[p.Name] = line
 			f.Procs = append(f.Procs, p)
+		case strings.HasPrefix(text, "compatible "):
+			if f.Package == "" {
+				return nil, errf(line, "compatible clause before package")
+			}
+			cd, err := parseCompat(f, text, line)
+			if err != nil {
+				return nil, err
+			}
+			f.Compat = append(f.Compat, cd)
 		default:
 			return nil, errf(line, "cannot parse %q", text)
 		}
@@ -242,6 +273,86 @@ func parseProc(f *File, text string, line int) (ProcDecl, error) {
 		seen[prm.Name] = true
 	}
 	return p, nil
+}
+
+// integerKeyType reports whether t can carry a disjointness key (the
+// generated extractor widens it to uint64).
+func integerKeyType(t Type) bool {
+	switch t {
+	case TI32, TI64, TU32, TU64:
+		return true
+	}
+	return false
+}
+
+// parseCompat parses `compatible A B [when disjoint(param)]`. Both
+// procedures must already be declared, so clauses follow the rpc lines
+// they reference.
+func parseCompat(f *File, text string, line int) (CompatDecl, error) {
+	cd := CompatDecl{Line: line}
+	fields := strings.Fields(strings.TrimPrefix(text, "compatible "))
+	if len(fields) != 2 && len(fields) != 4 {
+		return cd, errf(line, "compatible clause must be `compatible A B [when disjoint(param)]`")
+	}
+	cd.A, cd.B = fields[0], fields[1]
+	var procs [2]*ProcDecl
+	for i, n := range []string{cd.A, cd.B} {
+		p := f.procByName(n)
+		if p == nil {
+			return cd, errf(line, "compatible clause names unknown procedure %q (clauses must follow the rpc declarations they reference)", n)
+		}
+		if p.Async {
+			return cd, errf(line, "async procedure %s cannot appear in a compatible clause", n)
+		}
+		procs[i] = p
+	}
+	if len(fields) == 4 {
+		if fields[2] != "when" {
+			return cd, errf(line, "expected `when`, got %q", fields[2])
+		}
+		expr := fields[3]
+		if !strings.HasPrefix(expr, "disjoint(") || !strings.HasSuffix(expr, ")") {
+			return cd, errf(line, "bad when expression %q: only disjoint(param) is supported", expr)
+		}
+		key := expr[len("disjoint(") : len(expr)-1]
+		if !isIdent(key) {
+			return cd, errf(line, "bad disjoint parameter name %q", key)
+		}
+		for _, p := range procs {
+			var prm *Param
+			for j := range p.Ins {
+				if p.Ins[j].Name == key {
+					prm = &p.Ins[j]
+					break
+				}
+			}
+			if prm == nil {
+				return cd, errf(line, "disjoint key %q is not an input of %s", key, p.Name)
+			}
+			if !integerKeyType(prm.Type) {
+				return cd, errf(line, "disjoint key %s.%s has type %s; keys must be int32, int64, uint32, or uint64", p.Name, key, prm.Type)
+			}
+		}
+		cd.Disjoint, cd.KeyParam = true, key
+	}
+	for i := range f.Compat {
+		prev := &f.Compat[i]
+		samePair := (prev.A == cd.A && prev.B == cd.B) || (prev.A == cd.B && prev.B == cd.A)
+		if samePair {
+			if prev.Disjoint != cd.Disjoint || prev.KeyParam != cd.KeyParam {
+				return cd, errf(line, "compatible %s %s contradicts the clause on line %d", cd.A, cd.B, prev.Line)
+			}
+			return cd, errf(line, "duplicate compatible clause for %s %s (first on line %d)", cd.A, cd.B, prev.Line)
+		}
+		if cd.Disjoint && prev.Disjoint && prev.KeyParam != cd.KeyParam {
+			for _, n := range []string{cd.A, cd.B} {
+				if prev.A == n || prev.B == n {
+					return cd, errf(line, "procedure %s already keyed by %q on line %d; a procedure has exactly one disjoint key", n, prev.KeyParam, prev.Line)
+				}
+			}
+		}
+	}
+	return cd, nil
 }
 
 // parseParams parses a comma-separated `name type` list. f, when non-nil,

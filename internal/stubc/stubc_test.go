@@ -225,3 +225,108 @@ func TestEncSizeHints(t *testing.T) {
 		t.Fatalf("size hint missing:\n%s", code)
 	}
 }
+
+const compatSrc = `
+package p
+rpc Get(key uint32) (v int32)
+rpc Put(key uint32, v int32)
+rpc Ping()
+compatible Get Get
+compatible Get Put when disjoint(key)
+`
+
+func TestParseCompat(t *testing.T) {
+	f, err := Parse(compatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Compat) != 2 {
+		t.Fatalf("compat clauses = %d", len(f.Compat))
+	}
+	if c := f.Compat[0]; c.A != "Get" || c.B != "Get" || c.Disjoint || c.KeyParam != "" {
+		t.Fatalf("clause 0 parsed wrong: %+v", c)
+	}
+	if c := f.Compat[1]; c.A != "Get" || c.B != "Put" || !c.Disjoint || c.KeyParam != "key" {
+		t.Fatalf("clause 1 parsed wrong: %+v", c)
+	}
+}
+
+func TestParseCompatErrors(t *testing.T) {
+	const hdr = "package p\nrpc Get(key uint32) (v int32)\nrpc Put(key uint32, v int32)\nasync rpc Fire(tag uint64)\nrpc Name(s string)\nrpc Two(k uint32, j uint32)\nrpc Also(k uint32, j uint32)\n"
+	cases := []struct{ src, want string }{
+		{hdr + "compatible Get", "must be `compatible A B [when disjoint(param)]`"},
+		{hdr + "compatible Get Put extra", "must be `compatible A B [when disjoint(param)]`"},
+		{hdr + "compatible Get Missing", "unknown procedure"},
+		{"package p\ncompatible Get Get\nrpc Get(key uint32)", "clauses must follow the rpc declarations"},
+		{hdr + "compatible Fire Fire", "async procedure"},
+		{hdr + "compatible Get Put if disjoint(key)", "expected `when`"},
+		{hdr + "compatible Get Put when overlap(key)", "only disjoint(param) is supported"},
+		{hdr + "compatible Get Put when disjoint(1key)", "bad disjoint parameter name"},
+		{hdr + "compatible Get Put when disjoint(v)", "not an input of Get"},
+		{hdr + "compatible Name Name when disjoint(s)", "must be int32, int64, uint32, or uint64"},
+		{hdr + "compatible Get Put\ncompatible Get Put when disjoint(key)", "contradicts the clause on line"},
+		{hdr + "compatible Get Get\ncompatible Get Get", "duplicate compatible clause"},
+		{hdr + "compatible Two Two when disjoint(k)\ncompatible Two Also when disjoint(j)", "already keyed by \"k\""},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse(%q): error %q does not contain %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestParseCompatErrorHasLine(t *testing.T) {
+	_, err := Parse("package p\nrpc Get(key uint32)\n\ncompatible Get Nope")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 4 {
+		t.Fatalf("line = %d, want 4", pe.Line)
+	}
+}
+
+func TestGenerateCompat(t *testing.T) {
+	f, err := Parse(compatSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(code)
+	for _, want := range []string{
+		"func CompatSpec() rpc.CompatSpec",
+		"t := oam.NewCompatTable(3)",
+		"t.Allow(0, 0)",
+		"t.AllowDisjoint(0, 1)",
+		"{Name: \"Get\", Key: keyGet},",
+		"{Name: \"Put\", Key: keyPut},",
+		"{Name: \"Ping\"},",
+		"func keyGet(arg []byte) uint64",
+		"return uint64(d.U32())",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("generated code missing %q\n---\n%s", want, out)
+		}
+	}
+	// Put's key sits behind no earlier params; Get's neither — but an
+	// unannotated service must not grow a CompatSpec at all.
+	plain, err := Parse(goodSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err = Generate(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(code), "CompatSpec") {
+		t.Error("unannotated service generated a CompatSpec")
+	}
+}

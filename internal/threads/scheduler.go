@@ -70,6 +70,7 @@ type Scheduler struct {
 	stopped    bool
 	interrupts bool
 	blocked    map[*Thread]struct{}
+	cores      map[*sim.Proc]struct{}
 	probe      Probe
 }
 
@@ -173,6 +174,24 @@ func (s *Scheduler) Blocked() []string {
 	}
 	return names
 }
+
+// BindCore registers p as a simulated per-node core worker: a process
+// that executes multiactive handler bodies concurrently with the node's
+// scheduler (oam.Dispatcher.RunMulti). Core processes hold one of the
+// node's cores rather than the scheduler CPU, so checkOnCPU accepts them
+// for synchronization primitives and thread creation.
+func (s *Scheduler) BindCore(p *sim.Proc) {
+	if s.cores == nil {
+		s.cores = make(map[*sim.Proc]struct{})
+	}
+	s.cores[p] = struct{}{}
+	if s.probe != nil {
+		s.probe.ProcBound(s.node.ID(), p)
+	}
+}
+
+// UnbindCore releases a core worker registered with BindCore.
+func (s *Scheduler) UnbindCore(p *sim.Proc) { delete(s.cores, p) }
 
 // wakeActor resumes the acting scheduler when it is parked with nothing
 // to do. When the CPU is lent to an optimistic execution the actor is
@@ -441,6 +460,11 @@ func (s *Scheduler) checkOnCPU(c Ctx, op string) {
 		panic(fmt.Sprintf("threads: %s with context of another node", op))
 	}
 	if c.P != s.cpuProc() {
+		if _, ok := s.cores[c.P]; ok {
+			// A multiactive core worker: it owns one of the node's
+			// simulated cores rather than the scheduler CPU.
+			return
+		}
 		panic(fmt.Sprintf("threads: %s from context not on the CPU", op))
 	}
 	if len(s.lent) > 0 && s.lent[len(s.lent)-1].p == c.P {
